@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper table is expensive to regenerate (it trains/loads a model,
+quantizes it under up to six configurations and scores every configuration
+against two reference sets), so the table results are computed once per
+session and shared between the benchmarks that consume them (e.g. Table IV
+and Figure 10 both read the Stable Diffusion table).
+
+Formatted results are also written to ``benchmarks/results/`` so the
+regenerated tables can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Sequence
+
+import pytest
+
+from repro.experiments import BenchSettings
+from repro.experiments.harness import PAPER_ROW_ORDER, TableResult, run_quantization_table
+from repro.zoo import PretrainConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scaled-down experiment sizes (paper values in parentheses): 16 images
+#: (50k / 10k), 8 denoising steps (200 / 50), 15 bias candidates (111),
+#: 30 rounding-learning iterations.  EXPERIMENTS.md documents the scaling.
+BENCH_SETTINGS = BenchSettings(
+    num_images=16,
+    num_steps=8,
+    seed=1234,
+    batch_size=8,
+    num_bias_candidates=15,
+    rounding_iterations=30,
+    calibration_samples=3,
+    calibration_records_per_layer=4,
+    pretrain=PretrainConfig(dataset_size=96, autoencoder_steps=40, denoiser_steps=80),
+)
+
+#: Table V only evaluates 8-bit settings on SDXL, as in the paper.
+SDXL_ROWS = ("FP32/FP32", "INT8/INT8", "FP8/FP8")
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a formatted table/figure to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(content + "\n")
+    return path
+
+
+class TableCache:
+    """Session-level cache of quantization-table results keyed by model."""
+
+    def __init__(self, settings: BenchSettings):
+        self.settings = settings
+        self._tables: Dict[str, TableResult] = {}
+
+    def get(self, model_name: str,
+            labels: Sequence[str] = PAPER_ROW_ORDER) -> TableResult:
+        if model_name not in self._tables:
+            self._tables[model_name] = run_quantization_table(
+                model_name, config_labels=labels, settings=self.settings,
+                keep_images=True)
+        return self._tables[model_name]
+
+
+@pytest.fixture(scope="session")
+def table_cache() -> TableCache:
+    return TableCache(BENCH_SETTINGS)
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> BenchSettings:
+    return BENCH_SETTINGS

@@ -1,0 +1,67 @@
+"""Ablation: calibration-dataset size for rounding learning.
+
+The paper chooses its calibration-set sizes empirically (Section VI-A).  This
+ablation measures the rounding-learned layer-output MSE as a function of how
+many calibration activations each layer sees, on a trained LDM layer: more
+calibration data should not make the learned rounding worse, and even a
+single sample should beat nothing (round-to-nearest).
+"""
+
+import numpy as np
+
+from conftest import BENCH_SETTINGS, write_result
+
+from repro import nn
+from repro.core import (
+    PAPER_CONFIGS,
+    RoundingLearningConfig,
+    collect_calibration_data,
+    learn_rounding,
+    search_tensor_format,
+)
+from repro.core.calibration import quantizable_layer_paths
+from repro.experiments.harness import load_benchmark_pipeline
+
+SAMPLE_COUNTS = (1, 2, 4)
+
+
+def test_ablation_calibration_size(benchmark):
+    pipeline = load_benchmark_pipeline("ldm-bedroom", BENCH_SETTINGS)
+    config = BENCH_SETTINGS.scale_config(PAPER_CONFIGS["FP4/FP8"])
+    calibration = collect_calibration_data(pipeline, config.calibration)
+
+    # Pick the first convolution with enough recorded samples.
+    candidates = [(path, layer) for path, layer
+                  in quantizable_layer_paths(pipeline.model.unet)
+                  if isinstance(layer, nn.Conv2d)
+                  and len(calibration.samples(path)) >= max(SAMPLE_COUNTS)]
+    path, layer = candidates[0]
+    fmt = search_tensor_format(layer.weight.data, 4, num_bias_candidates=15).fmt
+    samples = calibration.samples(path)
+
+    def run():
+        results = {}
+        for count in SAMPLE_COUNTS:
+            outcome = learn_rounding(
+                layer, fmt, samples[:count],
+                RoundingLearningConfig(iterations=40, samples_per_iteration=count,
+                                       seed=0))
+            results[count] = (outcome.initial_output_mse, outcome.final_output_mse)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"Ablation: calibration samples for rounding learning (layer {path})",
+             f"{'samples':>8} {'nearest MSE':>14} {'learned MSE':>14}"]
+    for count in SAMPLE_COUNTS:
+        before, after = results[count]
+        lines.append(f"{count:>8} {before:>14.3e} {after:>14.3e}")
+    text = "\n".join(lines)
+    write_result("ablation_calibration_size", text)
+    print("\n" + text)
+
+    # Every calibration size should at least match round-to-nearest on the
+    # objective it optimizes.
+    for count in SAMPLE_COUNTS:
+        before, after = results[count]
+        assert after <= before * 1.05

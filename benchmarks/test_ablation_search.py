@@ -1,0 +1,92 @@
+"""Ablations of the format search (Algorithm 1 design choices).
+
+The paper fixes two design choices empirically: 111 bias candidates per
+tensor, and searching over all candidate encodings rather than committing to
+a single one.  These ablations quantify both on real (trained) U-Net weight
+tensors: weight-quantization MSE should improve rapidly with the first few
+dozen bias candidates and saturate, and the searched per-tensor encoding
+should never be worse than any single fixed encoding.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SETTINGS, write_result
+
+from repro.core import (
+    FPFormat,
+    quantization_mse,
+    search_tensor_format,
+)
+from repro.core.calibration import quantizable_layer_paths
+from repro.experiments.harness import load_benchmark_pipeline
+
+BIAS_CANDIDATE_COUNTS = (1, 3, 11, 31, 111)
+FIXED_ENCODINGS = ("E2M5", "E3M4", "E4M3", "E5M2")
+NUM_LAYERS = 12
+
+
+def _weight_tensors():
+    pipeline = load_benchmark_pipeline("ddim-cifar10", BENCH_SETTINGS)
+    layers = quantizable_layer_paths(pipeline.model.unet)[:NUM_LAYERS]
+    return [(path, layer.weight.data) for path, layer in layers]
+
+
+def test_ablation_bias_candidate_count(benchmark):
+    weights = _weight_tensors()
+
+    def sweep():
+        results = {}
+        for count in BIAS_CANDIDATE_COUNTS:
+            mses = [search_tensor_format(w, 8, num_bias_candidates=count).mse
+                    for _, w in weights]
+            results[count] = float(np.mean(mses))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation: number of bias candidates vs mean weight-quantization MSE "
+             f"({NUM_LAYERS} layers, FP8)",
+             f"{'candidates':>10} {'mean MSE':>12}"]
+    for count in BIAS_CANDIDATE_COUNTS:
+        lines.append(f"{count:>10} {results[count]:>12.3e}")
+    text = "\n".join(lines)
+    write_result("ablation_bias_candidates", text)
+    print("\n" + text)
+
+    # More candidates never hurt, and going from 1 to 111 helps substantially.
+    for smaller, larger in zip(BIAS_CANDIDATE_COUNTS, BIAS_CANDIDATE_COUNTS[1:]):
+        assert results[larger] <= results[smaller] * (1 + 1e-9)
+    assert results[111] < results[1]
+
+
+def test_ablation_searched_vs_fixed_encoding(benchmark):
+    weights = _weight_tensors()
+
+    def sweep():
+        searched = [search_tensor_format(w, 8, num_bias_candidates=31).mse
+                    for _, w in weights]
+        fixed = {}
+        for name in FIXED_ENCODINGS:
+            fmt = FPFormat.from_name(name)
+            fixed[name] = [quantization_mse(w, fmt) for _, w in weights]
+        return np.asarray(searched), {k: np.asarray(v) for k, v in fixed.items()}
+
+    searched, fixed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = ["Ablation: per-tensor searched encoding vs fixed encodings "
+             "(mean weight MSE, FP8)",
+             f"{'encoding':>10} {'mean MSE':>12}"]
+    lines.append(f"{'searched':>10} {float(np.mean(searched)):>12.3e}")
+    for name in FIXED_ENCODINGS:
+        lines.append(f"{name:>10} {float(np.mean(fixed[name])):>12.3e}")
+    text = "\n".join(lines)
+    write_result("ablation_encodings", text)
+    print("\n" + text)
+
+    # The searched format is at least as good as every fixed default-bias
+    # encoding on every tensor, and strictly better on average than the best
+    # fixed one.
+    for name in FIXED_ENCODINGS:
+        assert np.all(searched <= fixed[name] + 1e-12)
+    best_fixed = min(float(np.mean(fixed[name])) for name in FIXED_ENCODINGS)
+    assert float(np.mean(searched)) < best_fixed

@@ -1,0 +1,36 @@
+"""Figure 10: CLIP score of quantized Stable Diffusion models.
+
+The paper reports that the CLIP score differs little across quantization
+settings, with the floating-point configurations consistently at or slightly
+above the integer ones, and FP4/FP8 slightly above the full-precision model.
+
+The reproduction reads the CLIP-score substitute (prompt/image agreement
+through the procedural renderer) from the Stable Diffusion table rows.
+"""
+
+from conftest import write_result
+
+ROW_ORDER = ("FP32/FP32", "INT8/INT8", "FP8/FP8", "INT4/INT8",
+             "FP4/FP8 (no RL)", "FP4/FP8")
+
+
+def test_fig10_clip_score(benchmark, table_cache):
+    table = benchmark.pedantic(lambda: table_cache.get("stable-diffusion"),
+                               rounds=1, iterations=1)
+
+    scores = {label: table.row(label).metrics["dataset"].clip for label in ROW_ORDER}
+    lines = ["Figure 10: CLIP-score substitute per quantization setting",
+             f"{'Bitwidth (W/A)':<18} {'CLIP':>8}"]
+    for label in ROW_ORDER:
+        lines.append(f"{label:<18} {scores[label]:>8.2f}")
+    text = "\n".join(lines)
+    write_result("fig10_clip_score", text)
+    print("\n" + text)
+
+    full = scores["FP32/FP32"]
+    # All 8-bit settings and rounding-learned FP4 stay close to the
+    # full-precision CLIP score (the paper reports small differences).
+    for label in ("INT8/INT8", "FP8/FP8", "INT4/INT8", "FP4/FP8"):
+        assert abs(scores[label] - full) < 25.0
+    # FP8 should not be meaningfully worse than INT8 at following prompts.
+    assert scores["FP8/FP8"] >= scores["INT8/INT8"] - 5.0

@@ -1,0 +1,42 @@
+"""Figure 11: weight sparsity of Stable Diffusion and LDM after quantization.
+
+The paper measures the fraction of exactly-zero weights and finds a 31.6x
+(FP8) / 617x (FP4) increase for Stable Diffusion and 20.1x / 428.5x for LDM
+relative to the full-precision checkpoints.
+
+The reproduction measures the same percentages on the scaled-down zoo models.
+The full-precision stand-ins have essentially no exact zeros (they are small
+freshly-trained float32 networks), so the reproduction reports the absolute
+percentages and requires the FP4 >> FP8 >> FP32 ordering.
+"""
+
+from conftest import BENCH_SETTINGS, write_result
+
+from repro.experiments import run_sparsity_experiment
+
+MODELS = ("stable-diffusion", "ldm-bedroom")
+
+
+def test_fig11_sparsity(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_sparsity_experiment(name, BENCH_SETTINGS)
+                 for name in MODELS},
+        rounds=1, iterations=1)
+
+    lines = ["Figure 11: percentage of zero-valued weights",
+             f"{'model':<18} {'FP32':>8} {'FP8':>8} {'FP4':>8}"]
+    for name in MODELS:
+        row = results[name]
+        lines.append(f"{name:<18} {row['FP32']:>8.3f} {row['FP8']:>8.3f} "
+                     f"{row['FP4']:>8.3f}")
+    text = "\n".join(lines)
+    write_result("fig11_sparsity", text)
+    print("\n" + text)
+
+    for name in MODELS:
+        row = results[name]
+        # Quantization introduces sparsity, and FP4 introduces roughly an
+        # order of magnitude more than FP8 (the paper's central sparsity
+        # observation).
+        assert row["FP8"] > row["FP32"]
+        assert row["FP4"] > 5.0 * max(row["FP8"], 1e-6)

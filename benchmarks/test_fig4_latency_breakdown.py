@@ -1,0 +1,67 @@
+"""Figure 4: layer-type latency breakdown of the Stable Diffusion U-Net.
+
+The paper measures one denoising step on a Xeon CPU and a V100 GPU at batch
+sizes 1 and 8, normalizes each bar to 1.0 and reports that Conv2d and Linear
+layers dominate, that normalization+SiLU account for ~25% on the GPU and a
+negligible share on the CPU, and that GPU inference is 31x-72x faster.
+
+The reproduction computes the same breakdown analytically with the roofline
+cost model at the paper's real U-Net scale.
+"""
+
+from conftest import write_result
+
+from repro.profiling import (
+    CPU_XEON,
+    GPU_V100,
+    estimate_latency,
+    grouped_breakdown,
+    latency_breakdown,
+    normalized_breakdown,
+    paper_scale_stable_diffusion_config,
+    unet_layer_costs,
+)
+
+
+def compute_breakdowns():
+    config = paper_scale_stable_diffusion_config()
+    results = {}
+    for device in (CPU_XEON, GPU_V100):
+        for batch in (1, 8):
+            costs = unet_layer_costs(config, sample_size=64, batch_size=batch,
+                                     context_tokens=77)
+            total = estimate_latency(costs, device)
+            shares = normalized_breakdown(
+                grouped_breakdown(latency_breakdown(costs, device)))
+            results[(device.name, batch)] = (total, shares)
+    return results
+
+
+def test_fig4_latency_breakdown(benchmark):
+    results = benchmark.pedantic(compute_breakdowns, rounds=1, iterations=1)
+
+    lines = ["Figure 4: normalized per-step latency breakdown (roofline model)",
+             f"{'device':<10} {'batch':>5} {'total(ms)':>10} {'conv':>6} "
+             f"{'linear':>7} {'norm+silu':>10}"]
+    for (device, batch), (total, shares) in sorted(results.items()):
+        lines.append(f"{device:<10} {batch:>5} {total * 1e3:>10.1f} "
+                     f"{shares['conv']:>6.2f} {shares['linear']:>7.2f} "
+                     f"{shares['norm+silu']:>10.2f}")
+    text = "\n".join(lines)
+    write_result("fig4_latency_breakdown", text)
+    print("\n" + text)
+
+    # Conv + Linear dominate on every device/batch combination.
+    for (_, _), (_, shares) in results.items():
+        assert shares["conv"] + shares["linear"] > 0.6
+
+    # GPU is much faster than CPU at both batch sizes (paper: 31x / 72x).
+    for batch in (1, 8):
+        cpu_total = results[(CPU_XEON.name, batch)][0]
+        gpu_total = results[(GPU_V100.name, batch)][0]
+        assert cpu_total > 10 * gpu_total
+
+    # Normalization + SiLU matter more on the GPU than on the CPU (they are
+    # memory-bound and the GPU has a much higher compute-to-bandwidth ratio).
+    assert (results[(GPU_V100.name, 1)][1]["norm+silu"]
+            >= results[(CPU_XEON.name, 1)][1]["norm+silu"])

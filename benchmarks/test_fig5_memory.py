@@ -1,0 +1,58 @@
+"""Figure 5: peak inference memory versus batch size.
+
+The paper measures 8.37 GB of VRAM for batch size 1 and up to 54.9 GB for
+batch size 16 on an A100, dominated by the attention score tensors, and notes
+that FP8/FP4 quantization would shrink the requirement by 4x/8x.
+
+The reproduction estimates the same series analytically at the paper-scale
+U-Net configuration.
+"""
+
+from conftest import write_result
+
+from repro.profiling import (
+    BYTES_FP8,
+    BYTES_FP32,
+    estimate_peak_memory,
+    memory_vs_batch_size,
+    paper_scale_stable_diffusion_config,
+)
+
+BATCH_SIZES = (1, 2, 4, 8, 16)
+
+
+def test_fig5_memory_vs_batch_size(benchmark):
+    config = paper_scale_stable_diffusion_config()
+    estimates = benchmark.pedantic(
+        lambda: memory_vs_batch_size(config, 64, BATCH_SIZES, context_tokens=77),
+        rounds=1, iterations=1)
+
+    lines = ["Figure 5: estimated peak inference memory (GiB) vs batch size",
+             f"{'batch':>5} {'FP32':>8} {'FP8':>8}  peak layer"]
+    for batch in BATCH_SIZES:
+        fp32 = estimates[batch]
+        fp8 = estimate_peak_memory(config, 64, batch,
+                                   weight_bytes_per_element=BYTES_FP8,
+                                   activation_bytes_per_element=BYTES_FP8,
+                                   context_tokens=77)
+        lines.append(f"{batch:>5} {fp32.total_gib:>8.1f} {fp8.total_gib:>8.1f}  "
+                     f"{fp32.peak_layer_name}")
+    text = "\n".join(lines)
+    write_result("fig5_memory", text)
+    print("\n" + text)
+
+    totals = [estimates[b].total_bytes for b in BATCH_SIZES]
+    # Memory grows steeply (super-linearly relative to the batch-1 baseline is
+    # not required, but strict monotonic growth is).
+    assert all(later > earlier for earlier, later in zip(totals, totals[1:]))
+    # Batch 16 should require tens of GiB at paper scale (paper: ~55 GB).
+    assert estimates[16].total_gib > 10.0
+    # The peak layer at large batch is an attention score tensor.
+    assert "attention" in estimates[16].peak_layer_name
+    # FP8 storage cuts the estimate by ~4x.
+    fp8_16 = estimate_peak_memory(config, 64, 16,
+                                  weight_bytes_per_element=BYTES_FP8,
+                                  activation_bytes_per_element=BYTES_FP8,
+                                  context_tokens=77)
+    ratio = estimates[16].total_bytes / fp8_16.total_bytes
+    assert 3.5 < ratio < 4.5

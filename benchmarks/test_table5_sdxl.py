@@ -1,0 +1,31 @@
+"""Table V: SDXL evaluation (full precision vs INT8/INT8 vs FP8/FP8).
+
+Paper rows (reference: full-precision generated images):
+
+    Full Precision  FID 0.00 / sFID 0.00  / P 1.00  / R 1.00
+    INT8/INT8       FID 94.22 / sFID 247.42 / P 0.135 / R 0.681
+    FP8/FP8         FID 39.52 / sFID 229.21 / P 0.5125 / R 0.894
+
+Expected reproduction shape: on the larger U-Net the FP8/FP8 model stays
+closer to the full-precision trajectory than INT8/INT8.
+"""
+
+from conftest import SDXL_ROWS, write_result
+
+
+def test_table5_sdxl(benchmark, table_cache):
+    table = benchmark.pedantic(lambda: table_cache.get("sdxl", labels=SDXL_ROWS),
+                               rounds=1, iterations=1)
+    text = table.format_table()
+    write_result("table5_sdxl", text)
+    print("\n" + text)
+
+    fp_ref = "full-precision generated"
+    full = table.row("FP32/FP32").metrics[fp_ref]
+    fp8 = table.row("FP8/FP8").metrics[fp_ref]
+    int8 = table.row("INT8/INT8").metrics[fp_ref]
+
+    assert full.fid < 1e-6 and full.recall == 1.0
+    # FP8 tracks the full-precision SDXL model at least as closely as INT8.
+    assert fp8.sfid <= int8.sfid * 1.1
+    assert fp8.fid <= int8.fid * 1.25 + 1e-9

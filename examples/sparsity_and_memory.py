@@ -1,0 +1,76 @@
+"""Sparsity and compute/memory characterization (paper Section III, VI-G).
+
+This example reproduces the two "systems" analyses of the paper:
+
+* the layer-type latency breakdown and peak-memory growth of Stable
+  Diffusion inference, computed analytically with the roofline cost model at
+  the paper's real scale (a ~860M-parameter U-Net on 64x64 latents), and
+* the weight-sparsity increase caused by FP8/FP4 quantization (Figure 11),
+  measured on the scaled-down zoo models.
+
+Run with:  python examples/sparsity_and_memory.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_sparsity_experiment, BenchSettings
+from repro.profiling import (
+    BYTES_FP8,
+    BYTES_FP32,
+    CPU_XEON,
+    GPU_V100,
+    estimate_latency,
+    estimate_peak_memory,
+    grouped_breakdown,
+    latency_breakdown,
+    normalized_breakdown,
+    paper_scale_stable_diffusion_config,
+    total_weight_elements,
+    unet_layer_costs,
+)
+
+
+def characterize() -> None:
+    config = paper_scale_stable_diffusion_config()
+    costs_b1 = unet_layer_costs(config, sample_size=64, batch_size=1,
+                                context_tokens=77)
+    print(f"paper-scale U-Net parameters: "
+          f"{total_weight_elements(costs_b1) / 1e6:.0f}M")
+
+    print("\n=== Figure 4: latency breakdown per U-Net step (roofline model) ===")
+    for device in (GPU_V100, CPU_XEON):
+        for batch in (1, 8):
+            costs = unet_layer_costs(config, 64, batch_size=batch, context_tokens=77)
+            total = estimate_latency(costs, device)
+            shares = normalized_breakdown(
+                grouped_breakdown(latency_breakdown(costs, device)))
+            share_text = ", ".join(f"{k}={v:.2f}" for k, v in sorted(shares.items()))
+            print(f"{device.name:<9} batch={batch}: {total * 1e3:7.1f} ms/step  ({share_text})")
+
+    print("\n=== Figure 5: peak inference memory vs batch size ===")
+    for batch in (1, 2, 4, 8, 16):
+        fp32 = estimate_peak_memory(config, 64, batch, context_tokens=77)
+        fp8 = estimate_peak_memory(config, 64, batch,
+                                   weight_bytes_per_element=BYTES_FP8,
+                                   activation_bytes_per_element=BYTES_FP8,
+                                   context_tokens=77)
+        print(f"batch={batch:<3} FP32: {fp32.total_gib:6.1f} GiB   "
+              f"FP8: {fp8.total_gib:6.1f} GiB   (peak layer: {fp32.peak_layer_name})")
+
+
+def sparsity() -> None:
+    print("\n=== Figure 11: weight sparsity after quantization ===")
+    settings = BenchSettings(num_bias_candidates=21)
+    for model_name in ("stable-diffusion", "ldm-bedroom"):
+        results = run_sparsity_experiment(model_name, settings)
+        print(f"{model_name:<18} " + "  ".join(
+            f"{fmt}: {value:6.2f}%" for fmt, value in results.items()))
+
+
+def main() -> None:
+    characterize()
+    sparsity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Unconditional LDM quantization: the role of rounding learning for FP4 weights.
+
+This example mirrors the paper's LSUN-Bedrooms study (Table III, Figure 7):
+a latent diffusion model is quantized to FP4 weights / FP8 activations with
+and without the gradient-based rounding learning of Section V-B, and the
+output drift from the full-precision model is compared.  It also saves a
+qualitative image grid (as a ``.npy`` array) for visual inspection.
+
+Run with:  python examples/unconditional_bedroom_quantization.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    PAPER_CONFIGS,
+    collect_calibration_data,
+    quantize_pipeline,
+)
+from repro.diffusion import DiffusionPipeline
+from repro.metrics import evaluate_images
+from repro.zoo import PretrainConfig, load_pretrained
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "outputs"
+
+
+def main() -> None:
+    print("loading pre-trained ldm-bedroom stand-in...")
+    model = load_pretrained("ldm-bedroom",
+                            PretrainConfig(dataset_size=96, denoiser_steps=80))
+    pipeline = DiffusionPipeline(model, num_steps=10)
+
+    print("generating full-precision reference images...")
+    reference = pipeline.generate(num_images=16, seed=21, batch_size=8)
+
+    # Collect the calibration data once and share it between configs so that
+    # the only difference between rows is the quantizer itself.
+    fp4_config = PAPER_CONFIGS["FP4/FP8"].scaled_for_speed(num_bias_candidates=21,
+                                                           rounding_iterations=60)
+    calibration = collect_calibration_data(pipeline, fp4_config.calibration)
+
+    grids = {"full-precision": reference[:4]}
+    for label in ("FP8/FP8", "FP4/FP8 (no RL)", "FP4/FP8"):
+        config = PAPER_CONFIGS[label].scaled_for_speed(num_bias_candidates=21,
+                                                       rounding_iterations=60)
+        quantized, report = quantize_pipeline(pipeline, config,
+                                              calibration=calibration)
+        generated = quantized.generate(num_images=16, seed=21, batch_size=8)
+        drift = float(np.mean((generated - reference) ** 2))
+        metrics = evaluate_images(generated, reference)
+        learned = [r for r in report.layers if r.rounding_learning_used]
+        print(f"{label:<18} drift={drift:.2e}  FID={metrics.fid:.4f}  "
+              f"sFID={metrics.sfid:.4f}  precision={metrics.precision:.3f}  "
+              f"rounding-learned layers={len(learned)}")
+        grids[label] = generated[:4]
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    grid_path = OUTPUT_DIR / "ldm_bedroom_qualitative.npy"
+    np.save(grid_path, np.stack([grids[k] for k in sorted(grids)], axis=0))
+    print(f"\nsaved qualitative grid (configs x images x CHW) to {grid_path}")
+    print("Expected shape of the result (paper Fig. 7): FP8 is indistinguishable")
+    print("from FP32, FP4 without rounding learning degrades the most, and")
+    print("rounding learning recovers most of the FP4 quality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that `pip install -e .` works without network access.
+
+The environment has no `wheel` package and no network to fetch one, so the
+PEP 660 editable path (which needs bdist_wheel) is unavailable; this shim
+lets pip fall back to the legacy `setup.py develop` editable install.
+All project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro: reproduction of "Low-Bitwidth Floating Point Quantization for
+Efficient High-Quality Diffusion Models" (IISWC 2024).
+
+Subpackages
+-----------
+``repro.tensor``
+    numpy-backed autograd engine (PyTorch substitute).
+``repro.nn``
+    neural-network layers, modules and optimizers.
+``repro.models``
+    U-Net / autoencoder / text-encoder architectures and named model specs.
+``repro.diffusion``
+    noise schedules, DDPM/DDIM samplers, generation pipelines, training.
+``repro.zoo``
+    deterministic "pre-trained" checkpoints for the named models.
+``repro.data``
+    synthetic datasets standing in for CIFAR-10, LSUN-Bedrooms and MS-COCO.
+``repro.core``
+    the paper's contribution: floating-point PTQ with per-tensor format
+    search and gradient-based rounding learning, plus the integer baseline.
+``repro.metrics``
+    FID, sFID, Precision/Recall and a CLIP-score substitute.
+``repro.profiling``
+    analytic latency/memory characterization of the U-Net.
+"""
+
+from . import core, data, diffusion, metrics, models, nn, profiling, tensor, zoo
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core", "data", "diffusion", "metrics", "models", "nn", "profiling",
+    "tensor", "zoo", "__version__",
+]

@@ -1,0 +1,108 @@
+"""The paper's contribution: low-bitwidth floating-point PTQ for diffusion models.
+
+Public API overview
+-------------------
+
+* :class:`FPFormat`, :func:`quantize_fp` — low-bitwidth floating-point formats
+  and round-to-nearest quantization (Eq. 5-9).
+* :func:`calibrate_int_format`, :func:`quantize_int` — the uniform integer
+  (Q-diffusion style) baseline (Eq. 4).
+* :func:`search_tensor_format` — Algorithm 1's per-tensor encoding/bias search.
+* :func:`learn_rounding` — gradient-based rounding learning for FP4 weights
+  (Eq. 12-14).
+* :func:`collect_calibration_data` — initialization / calibration dataset
+  collection from the full-precision model.
+* :func:`quantize_pipeline` / :func:`quantize_model` — end-to-end PTQ of a
+  diffusion pipeline, with :data:`PAPER_CONFIGS` providing the exact
+  weight/activation settings evaluated in the paper's tables.
+* :func:`measure_weight_sparsity` — the sparsity analysis of Figure 11.
+"""
+
+from .formats import (
+    ENCODING_CANDIDATES,
+    FP4_ENCODINGS,
+    FP8_ENCODINGS,
+    FPFormat,
+    encoding_candidates,
+)
+from .fp import fp_scales, quantization_mse, quantize_fp, quantize_fp_with_rounding
+from .integer import (
+    IntFormat,
+    calibrate_int_format,
+    int_quantization_mse,
+    quantize_int,
+)
+from .search import (
+    DEFAULT_NUM_BIAS_CANDIDATES,
+    SearchResult,
+    bias_candidates,
+    search_tensor_format,
+)
+from .rounding import (
+    RoundingLearningConfig,
+    RoundingLearningResult,
+    learn_rounding,
+    regularizer_value,
+)
+from .calibration import (
+    CalibrationConfig,
+    CalibrationData,
+    collect_calibration_data,
+    quantizable_layer_paths,
+    skip_concat_paths,
+)
+from .qmodules import (
+    FPTensorQuantizer,
+    IdentityQuantizer,
+    IntTensorQuantizer,
+    QuantizedConv2d,
+    QuantizedLinear,
+    QuantizedSkipConcat,
+    TensorQuantizer,
+)
+from .quantizer import (
+    PAPER_CONFIGS,
+    LayerQuantizationRecord,
+    QuantizationConfig,
+    QuantizationReport,
+    clone_model,
+    fp4_fp8_config,
+    fp8_fp8_config,
+    full_precision_config,
+    int4_int8_config,
+    int8_int8_config,
+    quantize_model,
+    quantize_pipeline,
+)
+from .sparsity import (
+    SparsityReport,
+    measure_weight_sparsity,
+    sparsity_increase,
+    tensor_sparsity,
+)
+
+__all__ = [
+    # formats / fp / int
+    "FPFormat", "FP8_ENCODINGS", "FP4_ENCODINGS", "ENCODING_CANDIDATES",
+    "encoding_candidates", "fp_scales", "quantize_fp", "quantize_fp_with_rounding",
+    "quantization_mse", "IntFormat", "calibrate_int_format", "quantize_int",
+    "int_quantization_mse",
+    # search / rounding / calibration
+    "search_tensor_format", "bias_candidates", "SearchResult",
+    "DEFAULT_NUM_BIAS_CANDIDATES",
+    "learn_rounding", "regularizer_value", "RoundingLearningConfig",
+    "RoundingLearningResult",
+    "CalibrationConfig", "CalibrationData", "collect_calibration_data",
+    "quantizable_layer_paths", "skip_concat_paths",
+    # modules / orchestration
+    "TensorQuantizer", "IdentityQuantizer", "FPTensorQuantizer",
+    "IntTensorQuantizer", "QuantizedConv2d", "QuantizedLinear",
+    "QuantizedSkipConcat",
+    "QuantizationConfig", "QuantizationReport", "LayerQuantizationRecord",
+    "PAPER_CONFIGS", "quantize_pipeline", "quantize_model", "clone_model",
+    "full_precision_config", "fp8_fp8_config", "fp4_fp8_config",
+    "int8_int8_config", "int4_int8_config",
+    # sparsity
+    "SparsityReport", "measure_weight_sparsity", "sparsity_increase",
+    "tensor_sparsity",
+]

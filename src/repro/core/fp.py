@@ -1,0 +1,72 @@
+"""Floating-point quantization primitives (paper Eq. 6-9, 12).
+
+Quantization here is *simulated*: values are snapped onto the grid of the
+target low-bitwidth format but stored back as float32, which is the standard
+way PTQ methods evaluate quality (the paper does the same; the efficiency
+argument rests on the bitwidth of the representation, not on how the host
+simulates it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .formats import FPFormat
+
+
+def fp_scales(values: np.ndarray, fmt: FPFormat) -> np.ndarray:
+    """Per-element quantization step ``s_i`` of the format's grid (Eq. 9).
+
+    A floating-point format is a union of uniform grids, one per binade; the
+    step for a value depends on which binade (power-of-two interval) the
+    value falls into, with one shared subnormal grid below ``2^(1-b)``.
+    """
+    magnitude = np.abs(values).astype(np.float64)
+    with np.errstate(divide="ignore"):
+        biased_exponent = np.floor(np.log2(magnitude) + fmt.bias)
+    subnormal = ~np.isfinite(biased_exponent) | (biased_exponent <= 1)
+    exponent = np.where(subnormal, 1.0, biased_exponent)
+    return np.power(2.0, exponent - fmt.bias - fmt.mantissa_bits)
+
+
+def quantize_fp(values: np.ndarray, fmt: FPFormat) -> np.ndarray:
+    """Round-to-nearest floating-point quantization (Eq. 6-9).
+
+    The input is clipped to ``[-c, c]`` where ``c`` is the format's largest
+    magnitude, then each element is snapped to the nearest point of its
+    binade's grid.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    c = fmt.max_value
+    clipped = np.clip(values, -c, c)
+    scales = fp_scales(clipped, fmt)
+    quantized = np.clip(scales * np.round(clipped / scales), -c, c)
+    return quantized.astype(np.float32)
+
+
+def quantize_fp_with_rounding(values: np.ndarray, fmt: FPFormat,
+                              round_up: np.ndarray) -> np.ndarray:
+    """Floating-point quantization with an explicit per-element rounding choice.
+
+    This is the inference-time form of the learned rounding (Eq. 12 with the
+    sigmoid hardened to 0/1): each element is floored onto its grid and then
+    bumped up by one step wherever ``round_up`` is true.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    c = fmt.max_value
+    clipped = np.clip(values, -c, c)
+    scales = fp_scales(clipped, fmt)
+    offsets = np.where(np.asarray(round_up, dtype=bool), 1.0, 0.0)
+    quantized = np.clip(scales * (np.floor(clipped / scales) + offsets), -c, c)
+    return quantized.astype(np.float32)
+
+
+def quantization_mse(values: np.ndarray, fmt: FPFormat) -> float:
+    """Mean squared error between a tensor and its quantized version.
+
+    This is the objective minimized by the encoding/bias grid search
+    (Algorithm 1).
+    """
+    quantized = quantize_fp(values, fmt)
+    diff = np.asarray(values, dtype=np.float64) - quantized
+    return float(np.mean(diff * diff))

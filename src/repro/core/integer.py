@@ -1,0 +1,58 @@
+"""Uniform integer quantization baseline (paper Eq. 4, Q-diffusion style).
+
+The paper compares its floating-point method against state-of-the-art integer
+PTQ (Q-diffusion).  The baseline here is asymmetric per-tensor uniform
+quantization with min/max calibration, which is the quantizer at the heart of
+those integer methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IntFormat:
+    """An unsigned integer grid with a scale and zero point."""
+
+    bitwidth: int
+    scale: float
+    zero_point: int
+
+    @property
+    def num_levels(self) -> int:
+        return 2 ** self.bitwidth
+
+    @property
+    def name(self) -> str:
+        return f"INT{self.bitwidth}"
+
+
+def calibrate_int_format(values: np.ndarray, bitwidth: int) -> IntFormat:
+    """Derive scale and zero point from the min/max of calibration data (Eq. 4)."""
+    values = np.asarray(values, dtype=np.float64)
+    lo = float(values.min()) if values.size else 0.0
+    hi = float(values.max()) if values.size else 0.0
+    if hi <= lo:
+        hi = lo + 1e-8
+    scale = (hi - lo) / (2 ** bitwidth - 1)
+    zero_point = int(np.round(-lo / scale))
+    return IntFormat(bitwidth=bitwidth, scale=scale, zero_point=zero_point)
+
+
+def quantize_int(values: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Simulated uniform integer quantization (quantize then dequantize)."""
+    values = np.asarray(values, dtype=np.float64)
+    levels = np.round(values / fmt.scale) + fmt.zero_point
+    levels = np.clip(levels, 0, fmt.num_levels - 1)
+    return (fmt.scale * (levels - fmt.zero_point)).astype(np.float32)
+
+
+def int_quantization_mse(values: np.ndarray, bitwidth: int) -> float:
+    """MSE of min/max-calibrated integer quantization of ``values``."""
+    fmt = calibrate_int_format(values, bitwidth)
+    quantized = quantize_int(values, fmt)
+    diff = np.asarray(values, dtype=np.float64) - quantized
+    return float(np.mean(diff * diff))

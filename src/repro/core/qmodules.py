@@ -1,0 +1,149 @@
+"""Quantized layer wrappers installed into the U-Net by the model quantizer.
+
+Each wrapper simulates low-bitwidth execution of a Conv2d / Linear layer:
+
+* the weight tensor was quantized ahead of time (per-tensor format chosen by
+  Algorithm 1, optionally with learned rounding), and
+* the input activation tensor is quantized on the fly with its own per-tensor
+  format, calibrated on the initialization dataset.
+
+Normalization layers, SiLU activations, the text encoder and the autoencoder
+decoder are never wrapped — they stay in full precision, matching the paper.
+``QuantizedSkipConcat`` implements the Q-diffusion technique (adopted by the
+paper for the floating-point method as well) of quantizing the two inputs of
+a skip-connection concatenation separately because their value distributions
+differ.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..models import SkipConcat
+from ..tensor import Tensor, concatenate
+from ..tensor import functional as F
+from .formats import FPFormat
+from .fp import quantize_fp
+from .integer import IntFormat, calibrate_int_format, quantize_int
+
+
+class TensorQuantizer:
+    """Base class: maps a float32 array onto a low-bitwidth grid."""
+
+    bits: Optional[int] = None
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover
+        raise NotImplementedError
+
+
+class IdentityQuantizer(TensorQuantizer):
+    """Full-precision pass-through (used when a side is left unquantized)."""
+
+    bits = 32
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float32)
+
+    def describe(self) -> str:
+        return "FP32"
+
+
+class FPTensorQuantizer(TensorQuantizer):
+    """Per-tensor floating-point quantizer with a fixed format and bias."""
+
+    def __init__(self, fmt: FPFormat):
+        self.fmt = fmt
+        self.bits = fmt.bitwidth
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return quantize_fp(values, self.fmt)
+
+    def describe(self) -> str:
+        return f"FP{self.fmt.bitwidth}({self.fmt.name}, bias={self.fmt.bias:.2f})"
+
+
+class IntTensorQuantizer(TensorQuantizer):
+    """Per-tensor uniform integer quantizer with a fixed scale and zero point."""
+
+    def __init__(self, fmt: IntFormat):
+        self.fmt = fmt
+        self.bits = fmt.bitwidth
+
+    @classmethod
+    def calibrated(cls, values: np.ndarray, bitwidth: int) -> "IntTensorQuantizer":
+        return cls(calibrate_int_format(values, bitwidth))
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return quantize_int(values, self.fmt)
+
+    def describe(self) -> str:
+        return f"INT{self.fmt.bitwidth}(scale={self.fmt.scale:.3g})"
+
+
+class QuantizedConv2d(nn.Module):
+    """Conv2d with a pre-quantized weight and on-the-fly activation quantization."""
+
+    def __init__(self, original: nn.Conv2d, quantized_weight: np.ndarray,
+                 activation_quantizer: TensorQuantizer,
+                 weight_quantizer: TensorQuantizer):
+        super().__init__()
+        self.stride = original.stride
+        self.padding = original.padding
+        self.in_channels = original.in_channels
+        self.out_channels = original.out_channels
+        self.kernel_size = original.kernel_size
+        self.weight = nn.Parameter(quantized_weight, requires_grad=False)
+        self.bias = original.bias
+        self.original_weight = original.weight.data.copy()
+        self.activation_quantizer = activation_quantizer
+        self.weight_quantizer = weight_quantizer
+
+    def forward(self, x: Tensor) -> Tensor:
+        quantized_input = Tensor(self.activation_quantizer.quantize(x.data))
+        return F.conv2d(quantized_input, self.weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+
+class QuantizedLinear(nn.Module):
+    """Linear layer with a pre-quantized weight and activation quantization."""
+
+    def __init__(self, original: nn.Linear, quantized_weight: np.ndarray,
+                 activation_quantizer: TensorQuantizer,
+                 weight_quantizer: TensorQuantizer):
+        super().__init__()
+        self.in_features = original.in_features
+        self.out_features = original.out_features
+        self.weight = nn.Parameter(quantized_weight, requires_grad=False)
+        self.bias = original.bias
+        self.original_weight = original.weight.data.copy()
+        self.activation_quantizer = activation_quantizer
+        self.weight_quantizer = weight_quantizer
+
+    def forward(self, x: Tensor) -> Tensor:
+        quantized_input = Tensor(self.activation_quantizer.quantize(x.data))
+        return F.linear(quantized_input, self.weight, self.bias)
+
+
+class QuantizedSkipConcat(nn.Module):
+    """Skip-connection concat with separate quantizers for its two inputs."""
+
+    def __init__(self, main_quantizer: TensorQuantizer,
+                 skip_quantizer: TensorQuantizer):
+        super().__init__()
+        self.main_quantizer = main_quantizer
+        self.skip_quantizer = skip_quantizer
+
+    def forward(self, x: Tensor, skip: Tensor) -> Tensor:
+        main = Tensor(self.main_quantizer.quantize(x.data))
+        other = Tensor(self.skip_quantizer.quantize(skip.data))
+        return concatenate([main, other], axis=1)
+
+
+#: Convenience alias so callers can check "is this module one of ours".
+QUANTIZED_LAYER_TYPES = (QuantizedConv2d, QuantizedLinear)

@@ -1,0 +1,317 @@
+"""Model-level post-training quantization orchestration.
+
+This module ties the pieces of the paper's method together into a single
+entry point, :func:`quantize_pipeline`:
+
+1. collect the initialization/calibration datasets by running the
+   full-precision pipeline (Section V),
+2. walk the U-Net's Conv2d and Linear layers in breadth-first order and, for
+   each, greedily fix the weight format (Algorithm 1) and the activation
+   format, optionally refining the weight rounding with gradient-based
+   rounding learning (Section V-B),
+3. install quantized layer wrappers, including the separate quantization of
+   skip-connection concat inputs, and
+4. return a new pipeline around the quantized model plus a per-layer report.
+
+Integer (Q-diffusion style) quantization is available through the same entry
+point so that FP-vs-INT comparisons run through identical machinery.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..diffusion import DiffusionPipeline
+from ..models import DiffusionModel
+from .calibration import (
+    CalibrationConfig,
+    CalibrationData,
+    collect_calibration_data,
+    quantizable_layer_paths,
+    skip_concat_paths,
+)
+from .fp import quantize_fp, quantize_fp_with_rounding
+from .integer import calibrate_int_format, quantize_int
+from .qmodules import (
+    FPTensorQuantizer,
+    IdentityQuantizer,
+    IntTensorQuantizer,
+    QuantizedConv2d,
+    QuantizedLinear,
+    QuantizedSkipConcat,
+    TensorQuantizer,
+)
+from .rounding import RoundingLearningConfig, learn_rounding
+from .search import DEFAULT_NUM_BIAS_CANDIDATES, search_tensor_format
+
+VALID_DTYPES = ("fp32", "fp8", "fp4", "int8", "int4")
+
+
+def _dtype_kind_and_bits(dtype: str):
+    dtype = dtype.lower()
+    if dtype not in VALID_DTYPES:
+        raise ValueError(f"unknown dtype '{dtype}'; valid: {VALID_DTYPES}")
+    if dtype == "fp32":
+        return "none", 32
+    kind = "fp" if dtype.startswith("fp") else "int"
+    return kind, int(dtype[-1])
+
+
+@dataclass
+class QuantizationConfig:
+    """Full description of one quantization experiment (a table row)."""
+
+    weight_dtype: str = "fp8"
+    activation_dtype: str = "fp8"
+    rounding_learning: bool = False
+    num_bias_candidates: int = DEFAULT_NUM_BIAS_CANDIDATES
+    quantize_skip_connections: bool = True
+    max_search_elements: int = 16384
+    calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
+    rounding: RoundingLearningConfig = field(default_factory=RoundingLearningConfig)
+
+    @property
+    def label(self) -> str:
+        """Row label in the paper's "Bitwidth (W/A)" convention."""
+        names = {"fp32": "FP32", "fp8": "FP8", "fp4": "FP4",
+                 "int8": "INT8", "int4": "INT4"}
+        label = f"{names[self.weight_dtype]}/{names[self.activation_dtype]}"
+        if self.weight_dtype == "fp4" and not self.rounding_learning:
+            label += " (no RL)"
+        return label
+
+    def scaled_for_speed(self, num_bias_candidates: int = 21,
+                         rounding_iterations: int = 30) -> "QuantizationConfig":
+        """A cheaper copy of this config for tests and smoke benchmarks."""
+        return replace(
+            self,
+            num_bias_candidates=num_bias_candidates,
+            rounding=replace(self.rounding, iterations=rounding_iterations),
+        )
+
+
+# ----------------------------------------------------------------------
+# presets matching the paper's table rows
+# ----------------------------------------------------------------------
+def full_precision_config() -> QuantizationConfig:
+    return QuantizationConfig(weight_dtype="fp32", activation_dtype="fp32")
+
+
+def fp8_fp8_config() -> QuantizationConfig:
+    return QuantizationConfig(weight_dtype="fp8", activation_dtype="fp8")
+
+
+def fp4_fp8_config(rounding_learning: bool = True) -> QuantizationConfig:
+    return QuantizationConfig(weight_dtype="fp4", activation_dtype="fp8",
+                              rounding_learning=rounding_learning)
+
+
+def int8_int8_config() -> QuantizationConfig:
+    return QuantizationConfig(weight_dtype="int8", activation_dtype="int8")
+
+
+def int4_int8_config() -> QuantizationConfig:
+    return QuantizationConfig(weight_dtype="int4", activation_dtype="int8")
+
+
+PAPER_CONFIGS: Dict[str, QuantizationConfig] = {
+    "FP32/FP32": full_precision_config(),
+    "INT8/INT8": int8_int8_config(),
+    "FP8/FP8": fp8_fp8_config(),
+    "INT4/INT8": int4_int8_config(),
+    "FP4/FP8": fp4_fp8_config(rounding_learning=True),
+    "FP4/FP8 (no RL)": fp4_fp8_config(rounding_learning=False),
+}
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+@dataclass
+class LayerQuantizationRecord:
+    """What happened to one layer during quantization."""
+
+    path: str
+    layer_type: str
+    weight_format: str
+    activation_format: str
+    weight_mse: float
+    rounding_learning_used: bool = False
+    rounding_mse_before: float = 0.0
+    rounding_mse_after: float = 0.0
+
+
+@dataclass
+class QuantizationReport:
+    """Per-layer records plus experiment-level metadata."""
+
+    config: QuantizationConfig
+    layers: List[LayerQuantizationRecord] = field(default_factory=list)
+    skip_concats: List[str] = field(default_factory=list)
+
+    @property
+    def num_quantized_layers(self) -> int:
+        return len(self.layers)
+
+    def mean_weight_mse(self) -> float:
+        if not self.layers:
+            return 0.0
+        return float(np.mean([record.weight_mse for record in self.layers]))
+
+    def summary(self) -> str:
+        lines = [f"quantization config: {self.config.label}",
+                 f"quantized layers: {self.num_quantized_layers}",
+                 f"quantized skip concats: {len(self.skip_concats)}",
+                 f"mean weight quantization MSE: {self.mean_weight_mse():.3e}"]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _subsample(values: np.ndarray, limit: int, seed: int = 0) -> np.ndarray:
+    """Deterministically subsample a flat array to bound search cost."""
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    if flat.size <= limit:
+        return flat
+    rng = np.random.default_rng(seed)
+    index = rng.choice(flat.size, size=limit, replace=False)
+    return flat[index]
+
+
+def clone_model(model: DiffusionModel) -> DiffusionModel:
+    """Deep copy of a diffusion model bundle (weights included)."""
+    return copy.deepcopy(model)
+
+
+def _build_weight_quantizer_and_data(layer, config: QuantizationConfig,
+                                     calibration: CalibrationData, path: str,
+                                     record: LayerQuantizationRecord):
+    """Quantize one layer's weight, returning (quantized_weight, quantizer)."""
+    weights = layer.weight.data
+    kind, bits = _dtype_kind_and_bits(config.weight_dtype)
+    if kind == "none":
+        record.weight_format = "FP32"
+        return weights.copy(), IdentityQuantizer()
+
+    if kind == "int":
+        int_format = calibrate_int_format(weights, bits)
+        record.weight_format = f"INT{bits}"
+        quantized = quantize_int(weights, int_format)
+        record.weight_mse = float(np.mean((weights - quantized) ** 2))
+        return quantized, IntTensorQuantizer(int_format)
+
+    search = search_tensor_format(
+        _subsample(weights, config.max_search_elements), bits,
+        num_bias_candidates=config.num_bias_candidates)
+    fmt = search.fmt
+    record.weight_format = f"FP{bits}({fmt.name}, bias={fmt.bias:.2f})"
+    quantized = quantize_fp(weights, fmt)
+    record.weight_mse = float(np.mean((weights - quantized) ** 2))
+
+    use_rounding = config.rounding_learning and bits <= 4
+    samples = calibration.samples(path)
+    if use_rounding and samples:
+        result = learn_rounding(layer, fmt, samples, config.rounding)
+        quantized = quantize_fp_with_rounding(weights, fmt, result.round_up)
+        record.rounding_learning_used = True
+        record.rounding_mse_before = result.initial_output_mse
+        record.rounding_mse_after = result.final_output_mse
+        record.weight_mse = float(np.mean((weights - quantized) ** 2))
+    return quantized, FPTensorQuantizer(fmt)
+
+
+def _build_activation_quantizer(samples: np.ndarray, config: QuantizationConfig
+                                ) -> TensorQuantizer:
+    """Choose the activation quantizer from initialization-dataset samples."""
+    kind, bits = _dtype_kind_and_bits(config.activation_dtype)
+    if kind == "none" or samples.size == 0:
+        return IdentityQuantizer()
+    samples = _subsample(samples, config.max_search_elements)
+    if kind == "int":
+        return IntTensorQuantizer.calibrated(samples, bits)
+    search = search_tensor_format(samples, bits,
+                                  num_bias_candidates=config.num_bias_candidates)
+    return FPTensorQuantizer(search.fmt)
+
+
+# ----------------------------------------------------------------------
+# main entry points
+# ----------------------------------------------------------------------
+def quantize_model(model: DiffusionModel, pipeline: DiffusionPipeline,
+                   config: QuantizationConfig,
+                   calibration: Optional[CalibrationData] = None,
+                   prompts: Optional[Sequence[str]] = None
+                   ) -> QuantizationReport:
+    """Quantize ``model`` in place (its U-Net layers are replaced).
+
+    ``pipeline`` must wrap the *full-precision* model and is only used to
+    collect calibration data when ``calibration`` is not supplied.
+    """
+    needs_calibration = (config.activation_dtype != "fp32"
+                         or (config.rounding_learning
+                             and config.weight_dtype.startswith("fp")))
+    if calibration is None:
+        if needs_calibration:
+            calibration = collect_calibration_data(pipeline, config.calibration,
+                                                   prompts=prompts)
+        else:
+            calibration = CalibrationData()
+
+    report = QuantizationReport(config=config)
+    unet = model.unet
+
+    for path, layer in quantizable_layer_paths(unet):
+        record = LayerQuantizationRecord(
+            path=path, layer_type=type(layer).__name__,
+            weight_format="FP32", activation_format="FP32", weight_mse=0.0)
+        quantized_weight, weight_quantizer = _build_weight_quantizer_and_data(
+            layer, config, calibration, path, record)
+        activation_quantizer = _build_activation_quantizer(
+            calibration.concatenated(path), config)
+        record.activation_format = activation_quantizer.describe()
+
+        if isinstance(layer, nn.Conv2d):
+            wrapper = QuantizedConv2d(layer, quantized_weight,
+                                      activation_quantizer, weight_quantizer)
+        else:
+            wrapper = QuantizedLinear(layer, quantized_weight,
+                                      activation_quantizer, weight_quantizer)
+        unet.set_submodule(path, wrapper)
+        report.layers.append(record)
+
+    if config.quantize_skip_connections and config.activation_dtype != "fp32":
+        for path, _ in skip_concat_paths(unet):
+            main_quantizer = _build_activation_quantizer(
+                calibration.concatenated(f"{path}.main"), config)
+            skip_quantizer = _build_activation_quantizer(
+                calibration.concatenated(f"{path}.skip"), config)
+            unet.set_submodule(path, QuantizedSkipConcat(main_quantizer,
+                                                         skip_quantizer))
+            report.skip_concats.append(path)
+    return report
+
+
+def quantize_pipeline(pipeline: DiffusionPipeline, config: QuantizationConfig,
+                      prompts: Optional[Sequence[str]] = None,
+                      calibration: Optional[CalibrationData] = None):
+    """Return ``(quantized_pipeline, report)`` leaving the input pipeline intact.
+
+    This is the main public entry point used by the examples and benchmarks:
+    it clones the full-precision model, quantizes the clone according to
+    ``config`` and wraps it in a new pipeline with identical sampling
+    settings so seed-matched comparisons are possible.
+    """
+    if config.weight_dtype == "fp32" and config.activation_dtype == "fp32":
+        return pipeline, QuantizationReport(config=config)
+    quantized_model = clone_model(pipeline.model)
+    report = quantize_model(quantized_model, pipeline, config,
+                            calibration=calibration, prompts=prompts)
+    quantized_pipeline = DiffusionPipeline(quantized_model, spec=pipeline.spec,
+                                           num_steps=pipeline.num_steps)
+    return quantized_pipeline, report

@@ -1,0 +1,77 @@
+"""Per-tensor encoding and bias selection (paper Algorithm 1).
+
+For every weight or activation tensor the method grid-searches over the
+candidate encodings for the target bitwidth (4 for FP8, 2 for FP4) and a set
+of exponent-bias candidates derived from the tensor's value range, choosing
+the combination that minimizes the MSE between the quantized tensor and the
+full-precision tensor.  The paper uses 111 bias candidates, for 444 (FP8) or
+222 (FP4) combinations per tensor; both are defaults here.
+
+The search is *greedy across layers*: the model quantizer walks the network
+layer by layer in breadth-first order, fixes each tensor's format as soon as
+it is chosen, and never revisits it — exactly Algorithm 1's trimming of the
+search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .formats import FPFormat, encoding_candidates
+from .fp import quantization_mse
+
+#: Number of bias candidates the paper found to be the best trade-off.
+DEFAULT_NUM_BIAS_CANDIDATES = 111
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of the per-tensor format search."""
+
+    fmt: FPFormat
+    mse: float
+    candidates_evaluated: int
+
+
+def bias_candidates(values: np.ndarray, fmt: FPFormat,
+                    num_candidates: int = DEFAULT_NUM_BIAS_CANDIDATES) -> List[float]:
+    """Bias candidates derived from evenly spaced clipping maxima.
+
+    The paper generates evenly spaced values between the minimum and maximum
+    of the data being quantized and converts each to a bias through Eq. 7.
+    Since the format is symmetric in sign, the relevant range is
+    ``(0, max(|X|)]``: each candidate maximum becomes the largest magnitude
+    the format can represent, i.e. a clipping threshold.
+    """
+    magnitude = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+    if magnitude <= 0.0:
+        return [FPFormat.default_bias(fmt.exponent_bits)]
+    maxima = np.linspace(magnitude / num_candidates, magnitude, num_candidates)
+    return [float(FPFormat.bias_for_max_value(fmt.exponent_bits, fmt.mantissa_bits, m))
+            for m in maxima]
+
+
+def search_tensor_format(values: np.ndarray, bitwidth: int,
+                         num_bias_candidates: int = DEFAULT_NUM_BIAS_CANDIDATES,
+                         encodings: Optional[Sequence[FPFormat]] = None) -> SearchResult:
+    """Algorithm 1 for a single tensor: best (encoding, bias) pair by MSE."""
+    values = np.asarray(values, dtype=np.float32)
+    encodings = list(encodings) if encodings is not None else encoding_candidates(bitwidth)
+    best_fmt: Optional[FPFormat] = None
+    best_mse = np.inf
+    evaluated = 0
+    for encoding in encodings:
+        for bias in bias_candidates(values, encoding, num_bias_candidates):
+            candidate = encoding.with_bias(bias)
+            mse = quantization_mse(values, candidate)
+            evaluated += 1
+            if mse < best_mse:
+                best_mse = mse
+                best_fmt = candidate
+    if best_fmt is None:  # pragma: no cover - encodings is never empty
+        raise RuntimeError("no encoding candidates were provided")
+    return SearchResult(fmt=best_fmt, mse=float(best_mse),
+                        candidates_evaluated=evaluated)

@@ -1,0 +1,20 @@
+"""Synthetic datasets standing in for CIFAR-10, LSUN-Bedrooms and MS-COCO."""
+
+from .synthetic import NUM_SHAPE_CLASSES, rooms, shapes10
+from .prompts import (
+    BACKGROUNDS,
+    COLORS,
+    RELATIONS,
+    SHAPES,
+    SIZES,
+    PromptDataset,
+    PromptSpec,
+    render_prompt,
+    sample_prompt_specs,
+)
+
+__all__ = [
+    "shapes10", "rooms", "NUM_SHAPE_CLASSES",
+    "PromptDataset", "PromptSpec", "render_prompt", "sample_prompt_specs",
+    "COLORS", "SHAPES", "SIZES", "RELATIONS", "BACKGROUNDS",
+]

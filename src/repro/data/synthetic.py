@@ -1,0 +1,121 @@
+"""Procedural synthetic image datasets.
+
+These stand in for the datasets the paper evaluates on:
+
+* :func:`shapes10` replaces CIFAR-10 — ten visually distinct procedural
+  classes at low resolution.
+* :func:`rooms` replaces LSUN-Bedrooms — structured "room" scenes (wall and
+  floor split by a horizon line, plus furniture-like rectangles).
+
+All generators are deterministic given their seed and return float32 arrays
+of shape ``(N, 3, H, W)`` scaled to ``[-1, 1]``, matching the convention used
+by the diffusion pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+NUM_SHAPE_CLASSES = 10
+
+
+def _coordinate_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    ys, xs = np.meshgrid(np.linspace(0, 1, size), np.linspace(0, 1, size),
+                         indexing="ij")
+    return ys.astype(np.float32), xs.astype(np.float32)
+
+
+def _normalize(image: np.ndarray) -> np.ndarray:
+    return np.clip(image, 0.0, 1.0).astype(np.float32) * 2.0 - 1.0
+
+
+def _shape_image(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one image of the given class with per-sample jitter."""
+    ys, xs = _coordinate_grid(size)
+    base = rng.uniform(0.1, 0.9, size=3).astype(np.float32)
+    image = np.ones((3, size, size), dtype=np.float32) * base[:, None, None] * 0.3
+    cx, cy = rng.uniform(0.3, 0.7, size=2)
+    scale = rng.uniform(0.15, 0.3)
+
+    if label == 0:  # horizontal gradient
+        image += xs[None] * base[:, None, None]
+    elif label == 1:  # vertical gradient
+        image += ys[None] * base[:, None, None]
+    elif label == 2:  # checkerboard
+        period = max(2, size // 4)
+        checker = ((np.floor(xs * period) + np.floor(ys * period)) % 2)
+        image += checker[None] * base[:, None, None]
+    elif label == 3:  # filled circle
+        mask = ((xs - cx) ** 2 + (ys - cy) ** 2) < scale ** 2
+        image += mask[None] * base[:, None, None]
+    elif label == 4:  # ring
+        radius = np.sqrt((xs - cx) ** 2 + (ys - cy) ** 2)
+        mask = (radius > scale * 0.6) & (radius < scale)
+        image += mask[None] * base[:, None, None]
+    elif label == 5:  # vertical stripes
+        period = max(2, size // 3)
+        stripes = (np.floor(xs * period) % 2)
+        image += stripes[None] * base[:, None, None]
+    elif label == 6:  # diagonal stripes
+        period = max(2, size // 3)
+        stripes = (np.floor((xs + ys) * period) % 2)
+        image += stripes[None] * base[:, None, None]
+    elif label == 7:  # filled square
+        mask = (np.abs(xs - cx) < scale) & (np.abs(ys - cy) < scale)
+        image += mask[None] * base[:, None, None]
+    elif label == 8:  # cross
+        mask = (np.abs(xs - cx) < scale * 0.3) | (np.abs(ys - cy) < scale * 0.3)
+        image += mask[None] * base[:, None, None]
+    else:  # radial gradient
+        radius = np.sqrt((xs - cx) ** 2 + (ys - cy) ** 2)
+        image += (1.0 - radius)[None] * base[:, None, None]
+
+    image += rng.normal(0.0, 0.02, size=image.shape).astype(np.float32)
+    return _normalize(image)
+
+
+def shapes10(num_images: int, size: int = 16, seed: int = 0,
+             labels: np.ndarray = None) -> Tuple[np.ndarray, np.ndarray]:
+    """CIFAR-10 stand-in: ``num_images`` procedural images and their labels."""
+    rng = np.random.default_rng(seed)
+    if labels is None:
+        labels = rng.integers(0, NUM_SHAPE_CLASSES, size=num_images)
+    labels = np.asarray(labels, dtype=np.int64)
+    images = np.stack([_shape_image(int(label), size, rng) for label in labels])
+    return images, labels
+
+
+def _room_image(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one bedroom-like scene: wall, floor, bed and window rectangles."""
+    ys, xs = _coordinate_grid(size)
+    wall_color = rng.uniform(0.4, 0.9, size=3).astype(np.float32)
+    floor_color = rng.uniform(0.2, 0.6, size=3).astype(np.float32)
+    horizon = rng.uniform(0.45, 0.7)
+    image = np.where(ys[None] < horizon, wall_color[:, None, None],
+                     floor_color[:, None, None]).astype(np.float32)
+
+    # Bed: a wide rectangle sitting on the floor.
+    bed_color = rng.uniform(0.3, 1.0, size=3).astype(np.float32)
+    bed_left, bed_width = rng.uniform(0.1, 0.4), rng.uniform(0.3, 0.5)
+    bed_top = horizon - rng.uniform(0.0, 0.1)
+    bed_mask = ((xs > bed_left) & (xs < bed_left + bed_width)
+                & (ys > bed_top) & (ys < bed_top + 0.35))
+    image = np.where(bed_mask[None], bed_color[:, None, None], image)
+
+    # Window: a bright rectangle on the wall.
+    window_color = np.asarray([0.9, 0.95, 1.0], dtype=np.float32)
+    win_left, win_top = rng.uniform(0.55, 0.75), rng.uniform(0.05, 0.25)
+    win_mask = ((xs > win_left) & (xs < win_left + 0.2)
+                & (ys > win_top) & (ys < win_top + 0.2))
+    image = np.where(win_mask[None], window_color[:, None, None], image)
+
+    image += rng.normal(0.0, 0.02, size=image.shape).astype(np.float32)
+    return _normalize(image)
+
+
+def rooms(num_images: int, size: int = 32, seed: int = 0) -> np.ndarray:
+    """LSUN-Bedrooms stand-in: ``num_images`` procedural room scenes."""
+    rng = np.random.default_rng(seed)
+    return np.stack([_room_image(size, rng) for _ in range(num_images)])

@@ -1,0 +1,15 @@
+"""Diffusion processes, samplers, pipelines and training loops."""
+
+from .schedule import NoiseSchedule, cosine_beta_schedule, linear_beta_schedule
+from .forward import add_noise, forward_trajectory
+from .samplers import DDIMSampler, DDPMSampler
+from .pipeline import DiffusionPipeline
+from .training import TrainingResult, train_autoencoder, train_denoiser
+
+__all__ = [
+    "NoiseSchedule", "linear_beta_schedule", "cosine_beta_schedule",
+    "add_noise", "forward_trajectory",
+    "DDPMSampler", "DDIMSampler",
+    "DiffusionPipeline",
+    "TrainingResult", "train_autoencoder", "train_denoiser",
+]

@@ -1,0 +1,59 @@
+"""Forward (noising) process of the diffusion model.
+
+Implements ``q(x_t | x_0)`` in closed form (paper Eq. 1-2): given a clean
+sample ``x_0`` and timestep ``t``, the noisy sample is
+``sqrt(alpha_bar_t) * x_0 + sqrt(1 - alpha_bar_t) * eps`` with
+``eps ~ N(0, I)``.  This is used during training of the zoo models and when
+constructing calibration data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .schedule import NoiseSchedule
+
+
+def add_noise(x0: np.ndarray, t: np.ndarray, schedule: NoiseSchedule,
+              rng: Optional[np.random.Generator] = None,
+              noise: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``x_t ~ q(x_t | x_0)`` and return ``(x_t, eps)``.
+
+    Parameters
+    ----------
+    x0:
+        Clean samples of shape ``(N, C, H, W)``.
+    t:
+        Integer timesteps of shape ``(N,)``.
+    noise:
+        Optional pre-drawn Gaussian noise (used for deterministic tests).
+    """
+    x0 = np.asarray(x0, dtype=np.float32)
+    if noise is None:
+        rng = rng or np.random.default_rng()
+        noise = rng.standard_normal(x0.shape).astype(np.float32)
+    signal_scale, noise_scale = schedule.signal_and_noise_scales(t)
+    signal_scale = signal_scale.reshape(-1, 1, 1, 1).astype(np.float32)
+    noise_scale = noise_scale.reshape(-1, 1, 1, 1).astype(np.float32)
+    xt = signal_scale * x0 + noise_scale * noise
+    return xt.astype(np.float32), noise.astype(np.float32)
+
+
+def forward_trajectory(x0: np.ndarray, schedule: NoiseSchedule,
+                       rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Return the full forward trajectory ``x_0 ... x_T`` for one sample.
+
+    Mirrors Figure 2 of the paper; mostly useful for visual examples and for
+    property tests asserting that the terminal state approaches pure noise.
+    """
+    rng = rng or np.random.default_rng()
+    steps = [np.asarray(x0, dtype=np.float32)]
+    current = steps[0]
+    for t in range(schedule.num_timesteps):
+        beta = schedule.betas[t]
+        noise = rng.standard_normal(current.shape).astype(np.float32)
+        current = np.sqrt(1.0 - beta) * current + np.sqrt(beta) * noise
+        steps.append(current.astype(np.float32))
+    return np.stack(steps, axis=0)

@@ -1,0 +1,125 @@
+"""Reverse-process samplers: DDPM (ancestral) and DDIM (deterministic).
+
+The samplers drive the backward process of Figure 3 in the paper: starting
+from Gaussian noise ``x_T``, the noise-prediction network is applied
+repeatedly and the predicted noise removed at every step.  The iterative
+structure is exactly what makes diffusion models sensitive to quantization:
+quantization error injected at every step accumulates across the trajectory.
+
+Both samplers accept an optional ``trace`` callback so that the quantization
+calibration machinery can record intermediate latents and layer inputs at
+selected timesteps (the paper's "initialization dataset" and "calibration
+dataset", Section V).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..tensor import Tensor, no_grad
+from .schedule import NoiseSchedule
+
+TraceFn = Callable[[int, np.ndarray], None]
+
+
+def _predict_noise(model, x: np.ndarray, t: np.ndarray,
+                   context: Optional[Tensor]) -> np.ndarray:
+    prediction = model(Tensor(x), t, context=context)
+    return prediction.data
+
+
+def _predict_x0(x: np.ndarray, eps: np.ndarray, alpha_bar: float) -> np.ndarray:
+    return (x - np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha_bar)
+
+
+class DDPMSampler:
+    """Ancestral sampler following Ho et al. (paper Eq. 3)."""
+
+    def __init__(self, schedule: NoiseSchedule):
+        self.schedule = schedule
+
+    def sample(self, model, shape, rng: np.random.Generator,
+               context: Optional[Tensor] = None,
+               trace: Optional[TraceFn] = None) -> np.ndarray:
+        """Generate samples of the given ``(N, C, H, W)`` shape."""
+        schedule = self.schedule
+        x = rng.standard_normal(shape).astype(np.float32)
+        with no_grad():
+            for t in reversed(range(schedule.num_timesteps)):
+                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                eps = _predict_noise(model, x, t_batch, context)
+                alpha = schedule.alphas[t]
+                alpha_bar = schedule.alphas_bar[t]
+                beta = schedule.betas[t]
+                mean = (x - beta / np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha)
+                if t > 0:
+                    noise = rng.standard_normal(shape).astype(np.float32)
+                    x = mean + np.sqrt(beta) * noise
+                else:
+                    x = mean
+                x = x.astype(np.float32)
+                if trace is not None:
+                    trace(t, x)
+        return x
+
+
+class DDIMSampler:
+    """Deterministic DDIM sampler with a strided timestep schedule.
+
+    ``num_steps`` selects how many of the training timesteps are visited;
+    the paper uses 200 steps for unconditional generation and 50 for
+    text-to-image, while this reproduction defaults to the per-model
+    ``default_sampling_steps`` to keep runtimes tractable.
+    """
+
+    def __init__(self, schedule: NoiseSchedule, num_steps: int, eta: float = 0.0):
+        if num_steps < 1 or num_steps > schedule.num_timesteps:
+            raise ValueError(
+                f"num_steps must be in [1, {schedule.num_timesteps}], got {num_steps}")
+        self.schedule = schedule
+        self.num_steps = num_steps
+        self.eta = eta
+        self.timesteps = self._build_timesteps(schedule.num_timesteps, num_steps)
+
+    @staticmethod
+    def _build_timesteps(train_steps: int, num_steps: int) -> List[int]:
+        stride = train_steps / num_steps
+        steps = [int(round(stride * i)) for i in range(num_steps)]
+        steps = sorted(set(min(s, train_steps - 1) for s in steps))
+        return list(reversed(steps))
+
+    def sample(self, model, shape, rng: np.random.Generator,
+               context: Optional[Tensor] = None,
+               trace: Optional[TraceFn] = None,
+               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+        """Generate samples; with ``eta=0`` the trajectory is deterministic
+        given ``initial_noise`` (or the rng state), which is how the paper
+        fixes seeds to compare quantization configurations on identical
+        trajectories (Section VI-C)."""
+        schedule = self.schedule
+        if initial_noise is not None:
+            x = np.asarray(initial_noise, dtype=np.float32).reshape(shape)
+        else:
+            x = rng.standard_normal(shape).astype(np.float32)
+        timesteps = self.timesteps
+        with no_grad():
+            for index, t in enumerate(timesteps):
+                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                eps = _predict_noise(model, x, t_batch, context)
+                alpha_bar = schedule.alphas_bar[t]
+                prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
+                alpha_bar_prev = schedule.alphas_bar[prev_t] if prev_t >= 0 else 1.0
+                x0_pred = _predict_x0(x, eps, alpha_bar)
+                sigma = self.eta * np.sqrt(
+                    (1.0 - alpha_bar_prev) / (1.0 - alpha_bar)
+                    * (1.0 - alpha_bar / alpha_bar_prev))
+                direction = np.sqrt(max(1.0 - alpha_bar_prev - sigma ** 2, 0.0)) * eps
+                x = np.sqrt(alpha_bar_prev) * x0_pred + direction
+                if sigma > 0:
+                    x = x + sigma * rng.standard_normal(shape).astype(np.float32)
+                x = x.astype(np.float32)
+                if trace is not None:
+                    trace(t, x)
+        return x

@@ -1,0 +1,75 @@
+"""Noise schedules for the diffusion forward and backward processes.
+
+Implements the quantities of paper Eq. (1)-(3): the per-step noise intensities
+``beta_t``, ``alpha_t = 1 - beta_t`` and the cumulative products
+``alpha_bar_t`` that parameterize both the forward noising process and the
+reverse denoising mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def linear_beta_schedule(num_timesteps: int, beta_start: float = 1e-4,
+                         beta_end: float = 2e-2,
+                         reference_timesteps: int = 1000) -> np.ndarray:
+    """The linear beta schedule used by DDPM/DDIM.
+
+    The canonical endpoints (1e-4, 2e-2) are defined for a 1000-step forward
+    process.  The scaled-down models here train with fewer steps, so the
+    endpoints are rescaled by ``reference_timesteps / num_timesteps`` to keep
+    the terminal state close to pure Gaussian noise regardless of ``T`` —
+    the same total amount of noise is injected, just in fewer increments.
+    """
+    scale = reference_timesteps / num_timesteps
+    betas = np.linspace(beta_start * scale, beta_end * scale, num_timesteps,
+                        dtype=np.float64)
+    return np.clip(betas, 0.0, 0.999)
+
+
+def cosine_beta_schedule(num_timesteps: int, s: float = 8e-3) -> np.ndarray:
+    """Cosine schedule (Nichol & Dhariwal); included for schedule ablations."""
+    steps = np.arange(num_timesteps + 1, dtype=np.float64)
+    alphas_bar = np.cos((steps / num_timesteps + s) / (1 + s) * np.pi / 2) ** 2
+    alphas_bar /= alphas_bar[0]
+    betas = 1.0 - alphas_bar[1:] / alphas_bar[:-1]
+    return np.clip(betas, 0.0, 0.999)
+
+
+_SCHEDULES = {
+    "linear": linear_beta_schedule,
+    "cosine": cosine_beta_schedule,
+}
+
+
+@dataclass(frozen=True)
+class NoiseSchedule:
+    """Precomputed schedule arrays shared by the samplers and the trainer."""
+
+    betas: np.ndarray
+    alphas: np.ndarray
+    alphas_bar: np.ndarray
+
+    @property
+    def num_timesteps(self) -> int:
+        return len(self.betas)
+
+    @classmethod
+    def create(cls, num_timesteps: int, kind: str = "linear") -> "NoiseSchedule":
+        """Build a schedule of the given kind ("linear" or "cosine")."""
+        try:
+            betas = _SCHEDULES[kind](num_timesteps)
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown schedule '{kind}'; available: {sorted(_SCHEDULES)}") from exc
+        alphas = 1.0 - betas
+        alphas_bar = np.cumprod(alphas)
+        return cls(betas=betas, alphas=alphas, alphas_bar=alphas_bar)
+
+    def signal_and_noise_scales(self, t: np.ndarray) -> tuple:
+        """Return ``(sqrt(alpha_bar_t), sqrt(1 - alpha_bar_t))`` for timesteps ``t``."""
+        alpha_bar = self.alphas_bar[np.asarray(t, dtype=np.int64)]
+        return np.sqrt(alpha_bar), np.sqrt(1.0 - alpha_bar)

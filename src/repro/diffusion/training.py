@@ -1,0 +1,112 @@
+"""Training loops used to produce the zoo's "pre-trained" checkpoints.
+
+The paper performs *post-training* quantization on published checkpoints; no
+such checkpoints can be downloaded offline, so the model zoo trains each
+scaled-down model for a short, deterministic run on the synthetic datasets.
+Two losses are involved:
+
+* the standard denoising objective ``E || eps - eps_theta(x_t, t) ||^2`` for
+  the U-Net, and
+* a pixel reconstruction loss for the latent autoencoder of LDM/Stable
+  Diffusion stand-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..models import DiffusionModel
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .forward import add_noise
+from .schedule import NoiseSchedule
+
+
+@dataclass
+class TrainingResult:
+    """Loss history returned by the training helpers."""
+
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def initial_loss(self) -> float:
+        return self.losses[0] if self.losses else float("nan")
+
+
+def train_autoencoder(model: DiffusionModel, images: np.ndarray, num_steps: int = 60,
+                      batch_size: int = 8, lr: float = 2e-3,
+                      seed: int = 0) -> TrainingResult:
+    """Train the latent autoencoder with an L2 reconstruction loss."""
+    if model.autoencoder is None:
+        return TrainingResult(losses=[])
+    rng = np.random.default_rng(seed)
+    autoencoder = model.autoencoder
+    optimizer = nn.Adam(autoencoder.parameters(), lr=lr)
+    losses: List[float] = []
+    for _ in range(num_steps):
+        batch_idx = rng.integers(0, len(images), size=batch_size)
+        batch = Tensor(images[batch_idx])
+        reconstruction = autoencoder(batch)
+        loss = F.mse_loss(reconstruction, batch)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+    return TrainingResult(losses=losses)
+
+
+def train_denoiser(model: DiffusionModel, images: np.ndarray,
+                   prompts: Optional[Sequence[str]] = None,
+                   num_steps: int = 120, batch_size: int = 8, lr: float = 2e-3,
+                   seed: int = 0,
+                   progress: Optional[Callable[[int, float], None]] = None
+                   ) -> TrainingResult:
+    """Train the U-Net with the denoising objective.
+
+    For latent models the images are first encoded by the (already trained)
+    autoencoder; for text-to-image models the per-image prompt is encoded by
+    the text encoder and passed as cross-attention context.
+    """
+    rng = np.random.default_rng(seed)
+    spec = model.spec
+    schedule = NoiseSchedule.create(spec.train_timesteps)
+    optimizer = nn.Adam(model.unet.parameters(), lr=lr)
+
+    # Pre-encode the dataset into the space the U-Net operates in.
+    if model.autoencoder is not None:
+        encoded = []
+        for start in range(0, len(images), 16):
+            batch = Tensor(images[start:start + 16])
+            encoded.append(model.autoencoder.encode(batch).data)
+        latents = np.concatenate(encoded, axis=0)
+    else:
+        latents = np.asarray(images, dtype=np.float32)
+
+    contexts = None
+    if model.text_encoder is not None and prompts is not None:
+        contexts = model.text_encoder.encode_prompts(list(prompts)).data
+
+    losses: List[float] = []
+    for step in range(num_steps):
+        batch_idx = rng.integers(0, len(latents), size=batch_size)
+        x0 = latents[batch_idx]
+        t = rng.integers(0, schedule.num_timesteps, size=batch_size)
+        xt, noise = add_noise(x0, t, schedule, rng=rng)
+        context = Tensor(contexts[batch_idx]) if contexts is not None else None
+        prediction = model.unet(Tensor(xt), t, context=context)
+        loss = F.mse_loss(prediction, Tensor(noise))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        losses.append(loss.item())
+        if progress is not None:
+            progress(step, losses[-1])
+    return TrainingResult(losses=losses)

@@ -1,0 +1,27 @@
+"""Experiment harness shared by the benchmark suite and the examples.
+
+Each paper table/figure benchmark composes the same three steps: load a
+pre-trained zoo model, quantize it under a set of weight/activation configs,
+generate a seed-matched image set per config and score it against one or more
+reference sets.  :mod:`repro.experiments.harness` packages those steps so
+each ``benchmarks/test_*`` module stays a thin, readable declaration of the
+experiment it regenerates.
+"""
+
+from .harness import (
+    DEFAULT_BENCH_SETTINGS,
+    BenchSettings,
+    ExperimentRow,
+    TableResult,
+    run_quantization_table,
+    run_sparsity_experiment,
+)
+
+__all__ = [
+    "BenchSettings",
+    "DEFAULT_BENCH_SETTINGS",
+    "ExperimentRow",
+    "TableResult",
+    "run_quantization_table",
+    "run_sparsity_experiment",
+]

@@ -1,0 +1,222 @@
+"""Reusable experiment harness for the paper's tables and figures.
+
+The harness mirrors the paper's experimental protocol (Section VI-A/C):
+
+* every configuration being compared denoises *the same* starting noise
+  (fixed seed), so differences between rows are caused by quantization alone;
+* unconditional models are scored against their dataset stand-in reference,
+  text-to-image models against both the external (MS-COCO stand-in) reference
+  and the full-precision model's own generations (the paper's proposed
+  methodology);
+* sample counts, denoising steps and search budgets are scaled down from the
+  paper's (50k samples, 200 steps, 111 bias candidates) to sizes that run in
+  seconds on a CPU; EXPERIMENTS.md records the scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    CalibrationConfig,
+    PAPER_CONFIGS,
+    QuantizationConfig,
+    QuantizationReport,
+    measure_weight_sparsity,
+    quantize_pipeline,
+)
+from ..core.calibration import CalibrationData, collect_calibration_data
+from ..core.rounding import RoundingLearningConfig
+from ..data import PromptDataset, rooms, shapes10
+from ..diffusion import DiffusionPipeline
+from ..metrics import EvaluationResult, evaluate_images
+from ..models import get_model_spec
+from ..zoo import PretrainConfig, load_pretrained
+
+
+@dataclass
+class BenchSettings:
+    """Scaled-down experiment sizes used by the benchmark harness."""
+
+    num_images: int = 24
+    num_steps: int = 10
+    seed: int = 1234
+    batch_size: int = 8
+    num_bias_candidates: int = 21
+    rounding_iterations: int = 40
+    calibration_samples: int = 4
+    calibration_records_per_layer: int = 6
+    pretrain: PretrainConfig = field(default_factory=lambda: PretrainConfig(
+        dataset_size=96, autoencoder_steps=40, denoiser_steps=80))
+
+    def scale_config(self, config: QuantizationConfig) -> QuantizationConfig:
+        """Apply the bench search/learning budgets to a paper config."""
+        scaled = replace(
+            config,
+            num_bias_candidates=self.num_bias_candidates,
+            calibration=CalibrationConfig(
+                num_samples=self.calibration_samples,
+                max_records_per_layer=self.calibration_records_per_layer,
+                batch_size=min(self.batch_size, 4),
+                seed=self.seed + 1),
+            rounding=RoundingLearningConfig(
+                iterations=self.rounding_iterations,
+                samples_per_iteration=4,
+                seed=self.seed + 2),
+        )
+        return scaled
+
+
+DEFAULT_BENCH_SETTINGS = BenchSettings()
+
+#: The row order used by the paper's tables.
+PAPER_ROW_ORDER = ("FP32/FP32", "INT8/INT8", "FP8/FP8", "INT4/INT8",
+                   "FP4/FP8 (no RL)", "FP4/FP8")
+
+
+@dataclass
+class ExperimentRow:
+    """One table row: quantization label plus metrics against each reference."""
+
+    label: str
+    metrics: Dict[str, EvaluationResult]
+    report: Optional[QuantizationReport] = None
+    generated: Optional[np.ndarray] = None
+
+
+@dataclass
+class TableResult:
+    """A full table: model, reference-set names and ordered rows."""
+
+    model_name: str
+    reference_names: List[str]
+    rows: List[ExperimentRow]
+    settings: BenchSettings
+
+    def row(self, label: str) -> ExperimentRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row labelled '{label}' in table for {self.model_name}")
+
+    def format_table(self) -> str:
+        """Render the table in the paper's layout (one block per reference set)."""
+        lines = [f"model: {self.model_name}  "
+                 f"(N={self.settings.num_images}, steps={self.settings.num_steps})"]
+        with_clip = any(result.clip is not None
+                        for row in self.rows for result in row.metrics.values())
+        for reference in self.reference_names:
+            lines.append(f"-- reference: {reference}")
+            lines.append(EvaluationResult.header(with_clip=with_clip))
+            for row in self.rows:
+                lines.append(row.metrics[reference].as_row(row.label))
+        return "\n".join(lines)
+
+
+def _dataset_reference(model_name: str, num_images: int, image_size: int,
+                       seed: int) -> np.ndarray:
+    """External reference set: the training-data stand-in for the model."""
+    if model_name == "ddim-cifar10":
+        images, _ = shapes10(num_images, size=image_size, seed=seed)
+        return images
+    if model_name == "ldm-bedroom":
+        return rooms(num_images, size=image_size, seed=seed)
+    return PromptDataset(num_images, image_size=image_size, seed=seed).reference_images()
+
+
+def load_benchmark_pipeline(model_name: str,
+                            settings: BenchSettings = DEFAULT_BENCH_SETTINGS
+                            ) -> DiffusionPipeline:
+    """Load the cached pre-trained model and wrap it in a bench pipeline."""
+    model = load_pretrained(model_name, settings.pretrain)
+    return DiffusionPipeline(model, num_steps=settings.num_steps)
+
+
+def run_quantization_table(model_name: str,
+                           config_labels: Sequence[str] = PAPER_ROW_ORDER,
+                           settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
+                           keep_images: bool = False) -> TableResult:
+    """Reproduce one quantitative table (Tables II-V of the paper).
+
+    Returns metric rows for every requested configuration against the
+    external dataset reference and against the full-precision model's own
+    generations.
+    """
+    spec = get_model_spec(model_name)
+    pipeline = load_benchmark_pipeline(model_name, settings)
+
+    prompt_dataset = None
+    prompts = None
+    if spec.task == "text-to-image":
+        prompt_dataset = PromptDataset(settings.num_images,
+                                       image_size=spec.image_size,
+                                       seed=settings.seed + 7)
+        prompts = prompt_dataset.prompts
+
+    def generate(pipe: DiffusionPipeline) -> np.ndarray:
+        if prompts is not None:
+            return pipe.generate_from_prompts(prompts, seed=settings.seed,
+                                              batch_size=settings.batch_size)
+        return pipe.generate(settings.num_images, seed=settings.seed,
+                             batch_size=settings.batch_size)
+
+    dataset_reference = _dataset_reference(model_name, settings.num_images,
+                                           spec.image_size, settings.seed + 99)
+    full_precision_images = generate(pipeline)
+    references = {
+        "dataset": dataset_reference,
+        "full-precision generated": full_precision_images,
+    }
+
+    # Collect calibration data once from the full-precision pipeline and share
+    # it across configs so the comparison is apples-to-apples.
+    shared_calibration: Optional[CalibrationData] = None
+
+    rows: List[ExperimentRow] = []
+    for label in config_labels:
+        config = settings.scale_config(PAPER_CONFIGS[label])
+        if label == "FP32/FP32":
+            generated, report = full_precision_images, None
+        else:
+            if shared_calibration is None and (
+                    config.activation_dtype != "fp32" or config.rounding_learning):
+                shared_calibration = collect_calibration_data(
+                    pipeline, config.calibration, prompts=prompts)
+            quantized, report = quantize_pipeline(pipeline, config, prompts=prompts,
+                                                  calibration=shared_calibration)
+            generated = generate(quantized)
+        metrics = {
+            name: evaluate_images(
+                generated, reference,
+                prompt_specs=prompt_dataset.specs if prompt_dataset else None)
+            for name, reference in references.items()
+        }
+        rows.append(ExperimentRow(label=label, metrics=metrics, report=report,
+                                  generated=generated if keep_images else None))
+    return TableResult(model_name=model_name,
+                       reference_names=list(references),
+                       rows=rows, settings=settings)
+
+
+def run_sparsity_experiment(model_name: str,
+                            settings: BenchSettings = DEFAULT_BENCH_SETTINGS
+                            ) -> Dict[str, float]:
+    """Reproduce one model's bars of Figure 11: weight sparsity percentages."""
+    pipeline = load_benchmark_pipeline(model_name, settings)
+    results: Dict[str, float] = {}
+    # Sparsity is a property of the quantized *weights*, so activations are
+    # left in FP32 here; this avoids needing calibration data and keeps the
+    # experiment weight-only, exactly what Figure 11 measures.
+    fp8_weights = settings.scale_config(QuantizationConfig(
+        weight_dtype="fp8", activation_dtype="fp32"))
+    fp4_weights = settings.scale_config(QuantizationConfig(
+        weight_dtype="fp4", activation_dtype="fp32", rounding_learning=False))
+    fp8_pipe, _ = quantize_pipeline(pipeline, fp8_weights)
+    fp4_pipe, _ = quantize_pipeline(pipeline, fp4_weights)
+    results["FP32"] = measure_weight_sparsity(fp8_pipe.model, use_original=True).percent
+    results["FP8"] = measure_weight_sparsity(fp8_pipe.model).percent
+    results["FP4"] = measure_weight_sparsity(fp4_pipe.model).percent
+    return results

@@ -1,0 +1,19 @@
+"""Image quality metrics: FID, sFID, Precision/Recall and CLIP score."""
+
+from .features import FeatureExtractor, FeatureExtractorConfig, default_extractor
+from .fid import compute_fid, compute_sfid, frechet_distance
+from .precision_recall import (
+    PrecisionRecall,
+    compute_precision_recall,
+    manifold_coverage,
+)
+from .clip_score import clip_score
+from .suite import EvaluationResult, evaluate_images
+
+__all__ = [
+    "FeatureExtractor", "FeatureExtractorConfig", "default_extractor",
+    "compute_fid", "compute_sfid", "frechet_distance",
+    "PrecisionRecall", "compute_precision_recall", "manifold_coverage",
+    "clip_score",
+    "EvaluationResult", "evaluate_images",
+]

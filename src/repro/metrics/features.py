@@ -1,0 +1,138 @@
+"""Deterministic image feature extractor (Inception-V3 substitute).
+
+FID, sFID, Precision and Recall compare *feature distributions* of generated
+and reference image sets.  The paper uses Inception-V3 features; offline we
+substitute a fixed-weight convolutional filter bank (random but deterministic
+Gaussian filters, ReLU nonlinearities and average pooling).  Random
+convolutional features are a standard surrogate when a pretrained network is
+unavailable: they are discriminative enough to order models consistently,
+which is what the reproduction needs (relative comparisons between
+quantization configurations), even though absolute FID values are not
+comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+def _conv2d_same(x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+    """Valid-free convolution with 'same' zero padding, NCHW layout."""
+    n, c, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    pad_h, pad_w = kh // 2, kw // 2
+    padded = np.pad(x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)))
+    strides = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(n, c, h, w, kh, kw),
+        strides=(strides[0], strides[1], strides[2], strides[3],
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, h * w, c * kh * kw)
+    out = cols @ weight.reshape(c_out, -1).T
+    return out.transpose(0, 2, 1).reshape(n, c_out, h, w)
+
+
+def _avg_pool(x: np.ndarray, kernel: int = 2) -> np.ndarray:
+    n, c, h, w = x.shape
+    oh, ow = h // kernel, w // kernel
+    view = x[:, :, :oh * kernel, :ow * kernel]
+    return view.reshape(n, c, oh, kernel, ow, kernel).mean(axis=(3, 5))
+
+
+@dataclass
+class FeatureExtractorConfig:
+    """Architecture of the fixed filter bank."""
+
+    channels: List[int] = None
+    kernel_size: int = 3
+    seed: int = 1234
+    pooled_dim: int = 64
+    spatial_channels: int = 7
+
+    def __post_init__(self):
+        if self.channels is None:
+            self.channels = [16, 32, 64]
+
+
+class FeatureExtractor:
+    """Fixed random convolutional feature extractor.
+
+    Two feature views are exposed, matching how FID and sFID differ in the
+    paper: :meth:`pooled_features` spatially averages the deepest feature map
+    (standard FID features), while :meth:`spatial_features` keeps the spatial
+    layout of an intermediate map (sFID's spatial features).
+    """
+
+    def __init__(self, config: FeatureExtractorConfig = None):
+        self.config = config or FeatureExtractorConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self._filters: List[np.ndarray] = []
+        in_channels = 3
+        k = self.config.kernel_size
+        for out_channels in self.config.channels:
+            fan_in = in_channels * k * k
+            weight = rng.standard_normal((out_channels, in_channels, k, k))
+            weight = (weight / np.sqrt(fan_in)).astype(np.float32)
+            self._filters.append(weight)
+            in_channels = out_channels
+        self._projection = rng.standard_normal(
+            (self.config.channels[-1], self.config.pooled_dim)).astype(np.float32)
+        self._projection /= np.sqrt(self.config.channels[-1])
+
+    # ------------------------------------------------------------------
+    def _forward_maps(self, images: np.ndarray) -> List[np.ndarray]:
+        """Run the filter bank, returning the feature map after every stage."""
+        x = np.asarray(images, dtype=np.float32)
+        if x.ndim != 4 or x.shape[1] != 3:
+            raise ValueError(f"expected images of shape (N, 3, H, W), got {x.shape}")
+        maps = []
+        for index, weight in enumerate(self._filters):
+            x = _conv2d_same(x, weight)
+            x = np.maximum(x, 0.0)
+            if min(x.shape[2], x.shape[3]) >= 4 and index < len(self._filters) - 1:
+                x = _avg_pool(x, 2)
+            maps.append(x)
+        return maps
+
+    def pooled_features(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Global-average-pooled deep features, shape ``(N, pooled_dim)``."""
+        outputs = []
+        for start in range(0, len(images), batch_size):
+            maps = self._forward_maps(images[start:start + batch_size])
+            pooled = maps[-1].mean(axis=(2, 3))
+            outputs.append(pooled @ self._projection)
+        return np.concatenate(outputs, axis=0)
+
+    def spatial_features(self, images: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Spatially structured intermediate features, shape ``(N, D)``.
+
+        The first ``spatial_channels`` channels of the mid-level feature map
+        are kept with their spatial layout (downsampled to at most 8x8) and
+        flattened, mirroring sFID's use of spatial feature maps instead of
+        pooled features.
+        """
+        outputs = []
+        for start in range(0, len(images), batch_size):
+            maps = self._forward_maps(images[start:start + batch_size])
+            mid = maps[len(maps) // 2][:, : self.config.spatial_channels]
+            while min(mid.shape[2], mid.shape[3]) > 8:
+                mid = _avg_pool(mid, 2)
+            outputs.append(mid.reshape(mid.shape[0], -1))
+        return np.concatenate(outputs, axis=0)
+
+
+_DEFAULT_EXTRACTOR: FeatureExtractor = None
+
+
+def default_extractor() -> FeatureExtractor:
+    """Process-wide shared extractor (the filters are fixed, so sharing is safe)."""
+    global _DEFAULT_EXTRACTOR
+    if _DEFAULT_EXTRACTOR is None:
+        _DEFAULT_EXTRACTOR = FeatureExtractor()
+    return _DEFAULT_EXTRACTOR

@@ -1,0 +1,60 @@
+"""Convenience wrapper computing the full metric row used in the paper's tables.
+
+Every quantitative table in the paper reports FID, sFID, Precision and Recall
+for one generated image set against one reference set (plus the CLIP score
+for text-to-image).  :func:`evaluate_images` computes all of them in one call
+so that the benchmark harness for each table stays small and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data.prompts import PromptSpec
+from .clip_score import clip_score
+from .features import FeatureExtractor, default_extractor
+from .fid import compute_fid, compute_sfid
+from .precision_recall import compute_precision_recall
+
+
+@dataclass
+class EvaluationResult:
+    """One table row: the four distribution metrics plus optional CLIP score."""
+
+    fid: float
+    sfid: float
+    precision: float
+    recall: float
+    clip: Optional[float] = None
+
+    def as_row(self, label: str) -> str:
+        """Format the result as a fixed-width table row for bench output."""
+        clip_text = f" {self.clip:7.2f}" if self.clip is not None else ""
+        return (f"{label:<22} {self.fid:8.3f} {self.sfid:8.3f} "
+                f"{self.precision:9.4f} {self.recall:7.4f}{clip_text}")
+
+    @staticmethod
+    def header(with_clip: bool = False) -> str:
+        clip_text = "    CLIP" if with_clip else ""
+        return (f"{'Bitwidth (W/A)':<22} {'FID':>8} {'sFID':>8} "
+                f"{'Precision':>9} {'Recall':>7}{clip_text}")
+
+
+def evaluate_images(generated_images: np.ndarray, reference_images: np.ndarray,
+                    prompt_specs: Optional[Sequence[PromptSpec]] = None,
+                    extractor: Optional[FeatureExtractor] = None,
+                    neighbourhood: int = 3) -> EvaluationResult:
+    """Compute FID, sFID, Precision, Recall (and CLIP score when prompts given)."""
+    extractor = extractor or default_extractor()
+    fid = compute_fid(generated_images, reference_images, extractor)
+    sfid = compute_sfid(generated_images, reference_images, extractor)
+    pr = compute_precision_recall(generated_images, reference_images,
+                                  k=neighbourhood, extractor=extractor)
+    clip = None
+    if prompt_specs is not None:
+        clip = clip_score(generated_images, prompt_specs, extractor=extractor)
+    return EvaluationResult(fid=fid, sfid=sfid, precision=pr.precision,
+                            recall=pr.recall, clip=clip)

@@ -1,0 +1,19 @@
+"""Diffusion model architectures: U-Net, autoencoder, text encoder, configs."""
+
+from .unet import ResBlock, SkipConcat, UNet, UNetConfig, timestep_embedding
+from .autoencoder import Autoencoder, Decoder, Encoder
+from .text_encoder import HashTokenizer, TextEncoder
+from .configs import (
+    MODEL_SPECS,
+    DiffusionModel,
+    ModelSpec,
+    build_model,
+    get_model_spec,
+)
+
+__all__ = [
+    "UNet", "UNetConfig", "ResBlock", "SkipConcat", "timestep_embedding",
+    "Autoencoder", "Encoder", "Decoder",
+    "TextEncoder", "HashTokenizer",
+    "ModelSpec", "DiffusionModel", "MODEL_SPECS", "build_model", "get_model_spec",
+]

@@ -1,0 +1,107 @@
+"""Latent autoencoder for latent-diffusion models.
+
+Latent Diffusion Models (LDM) and Stable Diffusion run the U-Net in a
+compressed latent space; an encoder maps pixel images into latents and a
+decoder maps denoised latents back to pixels (the "Autoencoder/Decoder" box
+of Figure 1 in the paper).  The decoder runs once per generated image and is
+left in full precision, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+
+class Encoder(nn.Module):
+    """Convolutional encoder mapping images to a lower-resolution latent."""
+
+    def __init__(self, in_channels: int, latent_channels: int, base_channels: int = 16,
+                 downsample_factor: int = 4, num_groups: int = 4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if downsample_factor & (downsample_factor - 1):
+            raise ValueError("downsample_factor must be a power of two")
+        self.input_conv = nn.Conv2d(in_channels, base_channels, 3, padding=1, rng=rng)
+        stages = []
+        current = base_channels
+        factor = downsample_factor
+        while factor > 1:
+            stages.append(nn.Conv2d(current, current * 2, 3, stride=2, padding=1, rng=rng))
+            stages.append(nn.GroupNorm(num_groups, current * 2))
+            stages.append(nn.SiLU())
+            current *= 2
+            factor //= 2
+        self.stages = nn.Sequential(*stages)
+        self.output_conv = nn.Conv2d(current, latent_channels, 3, padding=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.input_conv(x)
+        hidden = self.stages(hidden)
+        return self.output_conv(hidden)
+
+
+class Decoder(nn.Module):
+    """Convolutional decoder mapping latents back to pixel space."""
+
+    def __init__(self, latent_channels: int, out_channels: int, base_channels: int = 16,
+                 upsample_factor: int = 4, num_groups: int = 4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if upsample_factor & (upsample_factor - 1):
+            raise ValueError("upsample_factor must be a power of two")
+        stage_count = int(np.log2(upsample_factor))
+        current = base_channels * (2 ** stage_count)
+        self.input_conv = nn.Conv2d(latent_channels, current, 3, padding=1, rng=rng)
+        stages = []
+        for _ in range(stage_count):
+            stages.append(nn.Upsample(current, rng=rng))
+            stages.append(nn.Conv2d(current, current // 2, 3, padding=1, rng=rng))
+            stages.append(nn.GroupNorm(num_groups, current // 2))
+            stages.append(nn.SiLU())
+            current //= 2
+        self.stages = nn.Sequential(*stages)
+        self.output_conv = nn.Conv2d(current, out_channels, 3, padding=1, rng=rng)
+
+    def forward(self, z: Tensor) -> Tensor:
+        hidden = self.input_conv(z)
+        hidden = self.stages(hidden)
+        return self.output_conv(hidden).tanh()
+
+
+class Autoencoder(nn.Module):
+    """Encoder/decoder pair with a fixed latent scaling factor."""
+
+    def __init__(self, in_channels: int = 3, latent_channels: int = 4,
+                 base_channels: int = 16, downsample_factor: int = 4,
+                 scaling_factor: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.latent_channels = latent_channels
+        self.downsample_factor = downsample_factor
+        self.scaling_factor = scaling_factor
+        self.encoder = Encoder(in_channels, latent_channels, base_channels,
+                               downsample_factor, rng=rng)
+        self.decoder = Decoder(latent_channels, in_channels, base_channels,
+                               downsample_factor, rng=rng)
+
+    def encode(self, images: Tensor) -> Tensor:
+        """Map pixel images to scaled latents."""
+        return self.encoder(images) * self.scaling_factor
+
+    def decode(self, latents: Tensor) -> Tensor:
+        """Map latents back to pixel images in ``[-1, 1]``."""
+        return self.decoder(latents * (1.0 / self.scaling_factor))
+
+    def forward(self, images: Tensor) -> Tensor:
+        return self.decode(self.encode(images))
+
+    def latent_shape(self, image_shape: Tuple[int, int]) -> Tuple[int, int, int]:
+        """Latent ``(C, H, W)`` for a given image ``(H, W)``."""
+        h, w = image_shape
+        f = self.downsample_factor
+        return (self.latent_channels, h // f, w // f)

@@ -1,0 +1,180 @@
+"""Named model configurations mirroring the paper's four evaluation models.
+
+The paper evaluates DDIM on CIFAR-10, LDM on LSUN-Bedrooms, Stable Diffusion
+v1.5 and SDXL.  Each has a scaled-down counterpart here, preserving the
+architectural features that matter for quantization: pixel-space vs latent
+space, text cross-attention or not, and relative U-Net sizes (the SDXL
+stand-in U-Net is roughly 3x the Stable Diffusion stand-in, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from .autoencoder import Autoencoder
+from .text_encoder import TextEncoder
+from .unet import UNet, UNetConfig
+from .. import nn
+
+
+@dataclass
+class ModelSpec:
+    """Everything needed to instantiate one of the named diffusion models."""
+
+    name: str
+    task: str  # "unconditional" or "text-to-image"
+    image_size: int
+    image_channels: int
+    latent: bool
+    latent_channels: int
+    latent_downsample: int
+    unet: UNetConfig
+    text_embed_dim: Optional[int] = None
+    train_timesteps: int = 100
+    default_sampling_steps: int = 20
+    seed: int = 0
+
+    @property
+    def sample_shape(self) -> tuple:
+        """Shape of the tensor the sampler denoises (latent or pixel space)."""
+        if self.latent:
+            size = self.image_size // self.latent_downsample
+            return (self.latent_channels, size, size)
+        return (self.image_channels, self.image_size, self.image_size)
+
+
+class DiffusionModel(nn.Module):
+    """Bundle of U-Net plus optional autoencoder and text encoder."""
+
+    def __init__(self, spec: ModelSpec, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(spec.seed)
+        self.spec = spec
+        self.unet = UNet(spec.unet, rng=rng)
+        if spec.latent:
+            self.autoencoder = Autoencoder(
+                in_channels=spec.image_channels,
+                latent_channels=spec.latent_channels,
+                downsample_factor=spec.latent_downsample,
+                rng=rng)
+        else:
+            self.autoencoder = None
+        if spec.task == "text-to-image":
+            self.text_encoder = TextEncoder(embed_dim=spec.text_embed_dim, rng=rng)
+        else:
+            self.text_encoder = None
+
+    def forward(self, x, timesteps, context=None):
+        return self.unet(x, timesteps, context=context)
+
+
+# ----------------------------------------------------------------------
+# named specs
+# ----------------------------------------------------------------------
+
+def _ddim_cifar10_spec() -> ModelSpec:
+    return ModelSpec(
+        name="ddim-cifar10",
+        task="unconditional",
+        image_size=16,
+        image_channels=3,
+        latent=False,
+        latent_channels=0,
+        latent_downsample=1,
+        unet=UNetConfig(
+            in_channels=3, out_channels=3, base_channels=16,
+            channel_multipliers=(1, 2), num_res_blocks=1,
+            attention_levels=(1,), num_heads=2),
+        train_timesteps=100,
+        default_sampling_steps=20,
+        seed=7,
+    )
+
+
+def _ldm_bedroom_spec() -> ModelSpec:
+    return ModelSpec(
+        name="ldm-bedroom",
+        task="unconditional",
+        image_size=32,
+        image_channels=3,
+        latent=True,
+        latent_channels=4,
+        latent_downsample=4,
+        unet=UNetConfig(
+            in_channels=4, out_channels=4, base_channels=16,
+            channel_multipliers=(1, 2), num_res_blocks=1,
+            attention_levels=(1,), num_heads=2),
+        train_timesteps=100,
+        default_sampling_steps=20,
+        seed=11,
+    )
+
+
+def _stable_diffusion_spec() -> ModelSpec:
+    return ModelSpec(
+        name="stable-diffusion",
+        task="text-to-image",
+        image_size=32,
+        image_channels=3,
+        latent=True,
+        latent_channels=4,
+        latent_downsample=4,
+        unet=UNetConfig(
+            in_channels=4, out_channels=4, base_channels=16,
+            channel_multipliers=(1, 2), num_res_blocks=1,
+            attention_levels=(0, 1), num_heads=2, context_dim=32),
+        text_embed_dim=32,
+        train_timesteps=100,
+        default_sampling_steps=10,
+        seed=13,
+    )
+
+
+def _sdxl_spec() -> ModelSpec:
+    # Roughly 3x the parameter count of the stable-diffusion stand-in U-Net,
+    # mirroring the paper's note that the SDXL U-Net is ~3x larger.
+    return ModelSpec(
+        name="sdxl",
+        task="text-to-image",
+        image_size=32,
+        image_channels=3,
+        latent=True,
+        latent_channels=4,
+        latent_downsample=4,
+        unet=UNetConfig(
+            in_channels=4, out_channels=4, base_channels=24,
+            channel_multipliers=(1, 2), num_res_blocks=2,
+            attention_levels=(0, 1), num_heads=4, context_dim=32, num_groups=4),
+        text_embed_dim=32,
+        train_timesteps=100,
+        default_sampling_steps=10,
+        seed=17,
+    )
+
+
+MODEL_SPECS: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        _ddim_cifar10_spec(),
+        _ldm_bedroom_spec(),
+        _stable_diffusion_spec(),
+        _sdxl_spec(),
+    )
+}
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up a named model spec, raising a helpful error if unknown."""
+    try:
+        return MODEL_SPECS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(MODEL_SPECS))
+        raise KeyError(f"unknown model '{name}'; available: {known}") from exc
+
+
+def build_model(name: str, rng: Optional[np.random.Generator] = None) -> DiffusionModel:
+    """Instantiate one of the named diffusion models with fresh weights."""
+    return DiffusionModel(get_model_spec(name), rng=rng)

@@ -1,0 +1,78 @@
+"""Toy text encoder and tokenizer for the text-to-image pipelines.
+
+Stable Diffusion conditions its U-Net on CLIP text embeddings.  Offline and
+from scratch we substitute a small transformer encoder over a word-level
+vocabulary built from the synthetic prompt grammar in :mod:`repro.data`.
+The encoder runs once per prompt (it is a negligible part of inference cost,
+as the paper's characterization notes) and is kept in full precision.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor
+
+
+class HashTokenizer:
+    """Deterministic word-level tokenizer with a fixed-size hash vocabulary.
+
+    Words are mapped to token ids by hashing, so any prompt can be encoded
+    without building a vocabulary in advance; identical words always map to
+    identical ids, which is all the toy text encoder needs.
+    """
+
+    def __init__(self, vocab_size: int = 512, max_length: int = 16):
+        self.vocab_size = vocab_size
+        self.max_length = max_length
+        self.pad_id = 0
+        self.bos_id = 1
+
+    def _word_id(self, word: str) -> int:
+        digest = hashlib.sha256(word.lower().encode("utf-8")).digest()
+        return 2 + int.from_bytes(digest[:4], "little") % (self.vocab_size - 2)
+
+    def encode(self, prompt: str) -> np.ndarray:
+        """Tokenize a prompt to a fixed-length id array."""
+        ids = [self.bos_id] + [self._word_id(w) for w in prompt.split()]
+        ids = ids[: self.max_length]
+        ids = ids + [self.pad_id] * (self.max_length - len(ids))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_batch(self, prompts: Sequence[str]) -> np.ndarray:
+        return np.stack([self.encode(p) for p in prompts], axis=0)
+
+
+class TextEncoder(nn.Module):
+    """Small transformer encoder producing per-token context embeddings."""
+
+    def __init__(self, vocab_size: int = 512, max_length: int = 16,
+                 embed_dim: int = 32, num_layers: int = 2, num_heads: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.tokenizer = HashTokenizer(vocab_size, max_length)
+        self.embed_dim = embed_dim
+        self.token_embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.position_embedding = nn.Embedding(max_length, embed_dim, rng=rng)
+        self.blocks = nn.ModuleList(
+            [nn.TransformerBlock(embed_dim, num_heads, rng=rng)
+             for _ in range(num_layers)])
+        self.final_norm = nn.LayerNorm(embed_dim)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        positions = np.arange(token_ids.shape[1])
+        hidden = self.token_embedding(token_ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            hidden = block(hidden)
+        return self.final_norm(hidden)
+
+    def encode_prompts(self, prompts: Sequence[str]) -> Tensor:
+        """Convenience wrapper: tokenize and encode a batch of prompt strings."""
+        token_ids = self.tokenizer.encode_batch(list(prompts))
+        return self.forward(token_ids)

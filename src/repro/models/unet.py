@@ -1,0 +1,224 @@
+"""U-Net noise-prediction network.
+
+This is the architecture in Figure 1 of the paper: a stack of ResNet blocks
+and attention blocks arranged as an encoder/decoder with block-to-block skip
+connections, conditioned on a sinusoidal timestep embedding and, for
+text-to-image models, on text-encoder context via cross-attention.
+
+The skip connections matter for quantization: Q-diffusion (and the paper)
+quantize the skip-connection activations and the previous layer's output
+*separately* before the concatenation, because their value distributions
+differ.  The decoder blocks here therefore expose the concatenation point
+explicitly (:class:`SkipConcat`) so the quantizer can wrap it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..tensor import Tensor, concatenate
+
+
+def timestep_embedding(timesteps: np.ndarray, dim: int) -> Tensor:
+    """Sinusoidal timestep embedding as used by DDPM-style U-Nets."""
+    timesteps = np.asarray(timesteps, dtype=np.float32).reshape(-1)
+    half = dim // 2
+    freqs = np.exp(-np.log(10000.0) * np.arange(half, dtype=np.float32) / max(half, 1))
+    args = timesteps[:, None] * freqs[None, :]
+    embedding = np.concatenate([np.cos(args), np.sin(args)], axis=1)
+    if dim % 2 == 1:
+        embedding = np.pad(embedding, ((0, 0), (0, 1)))
+    return Tensor(embedding)
+
+
+class SkipConcat(nn.Module):
+    """Concatenate decoder features with an encoder skip connection.
+
+    The module is intentionally trivial: it exists so that the quantizer can
+    find every skip-connection concatenation by class and apply the paper's
+    split quantization (quantize each input with its own format before the
+    concat) at exactly these points.
+    """
+
+    def forward(self, x: Tensor, skip: Tensor) -> Tensor:
+        return concatenate([x, skip], axis=1)
+
+
+class ResBlock(nn.Module):
+    """Residual block with GroupNorm, SiLU, 3x3 convs and a timestep shift."""
+
+    def __init__(self, in_channels: int, out_channels: int, time_dim: int,
+                 num_groups: int = 4, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.norm1 = nn.GroupNorm(num_groups, in_channels)
+        self.act1 = nn.SiLU()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.time_proj = nn.Linear(time_dim, out_channels, rng=rng)
+        self.norm2 = nn.GroupNorm(num_groups, out_channels)
+        self.act2 = nn.SiLU()
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, padding=1, rng=rng)
+        if in_channels != out_channels:
+            self.shortcut = nn.Conv2d(in_channels, out_channels, 1, rng=rng)
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor, time_emb: Tensor) -> Tensor:
+        hidden = self.conv1(self.act1(self.norm1(x)))
+        shift = self.time_proj(time_emb.silu())
+        hidden = hidden + shift.reshape(shift.shape[0], shift.shape[1], 1, 1)
+        hidden = self.conv2(self.act2(self.norm2(hidden)))
+        return hidden + self.shortcut(x)
+
+
+@dataclass
+class UNetConfig:
+    """Architecture hyperparameters for :class:`UNet`.
+
+    ``channel_multipliers`` defines one resolution level per entry;
+    ``attention_levels`` lists the level indices that get a
+    :class:`~repro.nn.SpatialTransformer` after their ResBlock.
+    """
+
+    in_channels: int = 3
+    out_channels: int = 3
+    base_channels: int = 16
+    channel_multipliers: Sequence[int] = (1, 2)
+    num_res_blocks: int = 1
+    attention_levels: Sequence[int] = (1,)
+    num_heads: int = 2
+    context_dim: Optional[int] = None
+    num_groups: int = 4
+    time_embed_dim: Optional[int] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def resolved_time_dim(self) -> int:
+        return self.time_embed_dim or self.base_channels * 4
+
+
+class UNet(nn.Module):
+    """Noise prediction network epsilon_theta(x_t, t, context)."""
+
+    def __init__(self, config: UNetConfig, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.config = config
+        channels = config.base_channels
+        time_dim = config.resolved_time_dim
+
+        self.time_mlp1 = nn.Linear(channels, time_dim, rng=rng)
+        self.time_act = nn.SiLU()
+        self.time_mlp2 = nn.Linear(time_dim, time_dim, rng=rng)
+
+        self.input_conv = nn.Conv2d(config.in_channels, channels, 3, padding=1, rng=rng)
+
+        # ---------------------------------------------------------- encoder
+        self.down_blocks = nn.ModuleList()
+        self.down_attentions = nn.ModuleList()
+        self.downsamplers = nn.ModuleList()
+        level_channels: List[int] = [channels]
+        current = channels
+        for level, multiplier in enumerate(config.channel_multipliers):
+            out_ch = config.base_channels * multiplier
+            for _ in range(config.num_res_blocks):
+                self.down_blocks.append(
+                    ResBlock(current, out_ch, time_dim, config.num_groups, rng=rng))
+                if level in config.attention_levels:
+                    self.down_attentions.append(nn.SpatialTransformer(
+                        out_ch, config.num_heads, context_dim=config.context_dim, rng=rng))
+                else:
+                    self.down_attentions.append(nn.Identity())
+                current = out_ch
+                level_channels.append(current)
+            if level != len(config.channel_multipliers) - 1:
+                self.downsamplers.append(nn.Downsample(current, rng=rng))
+                level_channels.append(current)
+            else:
+                self.downsamplers.append(nn.Identity())
+
+        # ------------------------------------------------------------- mid
+        self.mid_block1 = ResBlock(current, current, time_dim, config.num_groups, rng=rng)
+        self.mid_attention = nn.SpatialTransformer(
+            current, config.num_heads, context_dim=config.context_dim, rng=rng)
+        self.mid_block2 = ResBlock(current, current, time_dim, config.num_groups, rng=rng)
+
+        # ---------------------------------------------------------- decoder
+        self.up_blocks = nn.ModuleList()
+        self.up_attentions = nn.ModuleList()
+        self.upsamplers = nn.ModuleList()
+        self.skip_concats = nn.ModuleList()
+        for level in reversed(range(len(config.channel_multipliers))):
+            out_ch = config.base_channels * config.channel_multipliers[level]
+            for _ in range(config.num_res_blocks + 1):
+                skip_ch = level_channels.pop()
+                self.skip_concats.append(SkipConcat())
+                self.up_blocks.append(ResBlock(
+                    current + skip_ch, out_ch, time_dim, config.num_groups, rng=rng))
+                if level in config.attention_levels:
+                    self.up_attentions.append(nn.SpatialTransformer(
+                        out_ch, config.num_heads, context_dim=config.context_dim, rng=rng))
+                else:
+                    self.up_attentions.append(nn.Identity())
+                current = out_ch
+            if level != 0:
+                self.upsamplers.append(nn.Upsample(current, rng=rng))
+            else:
+                self.upsamplers.append(nn.Identity())
+
+        self.output_norm = nn.GroupNorm(config.num_groups, current)
+        self.output_act = nn.SiLU()
+        self.output_conv = nn.Conv2d(current, config.out_channels, 3, padding=1, rng=rng)
+
+    # ------------------------------------------------------------------
+    def _embed_time(self, timesteps: np.ndarray) -> Tensor:
+        emb = timestep_embedding(timesteps, self.config.base_channels)
+        emb = self.time_mlp1(emb)
+        emb = self.time_act(emb)
+        return self.time_mlp2(emb)
+
+    def forward(self, x: Tensor, timesteps: np.ndarray,
+                context: Optional[Tensor] = None) -> Tensor:
+        """Predict the noise component of ``x`` at the given timesteps."""
+        time_emb = self._embed_time(timesteps)
+
+        hidden = self.input_conv(x)
+        skips: List[Tensor] = [hidden]
+
+        block_index = 0
+        for level in range(len(self.config.channel_multipliers)):
+            for _ in range(self.config.num_res_blocks):
+                hidden = self.down_blocks[block_index](hidden, time_emb)
+                attention = self.down_attentions[block_index]
+                if isinstance(attention, nn.SpatialTransformer):
+                    hidden = attention(hidden, context=context)
+                skips.append(hidden)
+                block_index += 1
+            downsampler = self.downsamplers[level]
+            if not isinstance(downsampler, nn.Identity):
+                hidden = downsampler(hidden)
+                skips.append(hidden)
+
+        hidden = self.mid_block1(hidden, time_emb)
+        hidden = self.mid_attention(hidden, context=context)
+        hidden = self.mid_block2(hidden, time_emb)
+
+        block_index = 0
+        for level_pos, level in enumerate(reversed(range(len(self.config.channel_multipliers)))):
+            for _ in range(self.config.num_res_blocks + 1):
+                skip = skips.pop()
+                hidden = self.skip_concats[block_index](hidden, skip)
+                hidden = self.up_blocks[block_index](hidden, time_emb)
+                attention = self.up_attentions[block_index]
+                if isinstance(attention, nn.SpatialTransformer):
+                    hidden = attention(hidden, context=context)
+                block_index += 1
+            upsampler = self.upsamplers[level_pos]
+            if not isinstance(upsampler, nn.Identity):
+                hidden = upsampler(hidden)
+
+        hidden = self.output_conv(self.output_act(self.output_norm(hidden)))
+        return hidden

@@ -1,0 +1,33 @@
+"""Neural-network building blocks (torch.nn substitute)."""
+
+from .module import Module, Parameter, Sequential, ModuleList
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Downsample,
+    Dropout,
+    Embedding,
+    GELU,
+    GroupNorm,
+    Identity,
+    LayerNorm,
+    Linear,
+    SiLU,
+    Upsample,
+)
+from .attention import (
+    FeedForward,
+    MultiHeadAttention,
+    SpatialTransformer,
+    TransformerBlock,
+)
+from .optim import SGD, Adam, Optimizer
+from . import init
+
+__all__ = [
+    "Module", "Parameter", "Sequential", "ModuleList",
+    "Linear", "Conv2d", "SiLU", "GELU", "GroupNorm", "LayerNorm",
+    "Embedding", "Dropout", "Identity", "Downsample", "Upsample", "AvgPool2d",
+    "MultiHeadAttention", "FeedForward", "TransformerBlock", "SpatialTransformer",
+    "Optimizer", "SGD", "Adam", "init",
+]

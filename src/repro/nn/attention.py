@@ -1,0 +1,131 @@
+"""Attention blocks used by the diffusion U-Nets and the text encoder.
+
+The paper's Stable Diffusion characterization (Section III) identifies the
+attention key/query/value linear layers and the attention score tensor as the
+dominant memory consumers; these classes are the concrete layers the
+quantizer wraps and the profiling cost model walks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import functional as F
+from .layers import GELU, LayerNorm, Linear
+from .module import Module
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with optional cross-attention context.
+
+    When ``context_dim`` is given, keys and values are computed from the
+    context sequence (text embeddings for Stable Diffusion); otherwise the
+    block performs self-attention over the input sequence.
+    """
+
+    def __init__(self, dim: int, num_heads: int = 4,
+                 context_dim: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim={dim} must be divisible by num_heads={num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        kv_dim = context_dim if context_dim is not None else dim
+        self.to_q = Linear(dim, dim, bias=False, rng=rng)
+        self.to_k = Linear(kv_dim, dim, bias=False, rng=rng)
+        self.to_v = Linear(kv_dim, dim, bias=False, rng=rng)
+        self.to_out = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, tokens, _ = x.shape
+        x = x.reshape(batch, tokens, self.num_heads, self.head_dim)
+        x = x.transpose(0, 2, 1, 3)
+        return x.reshape(batch * self.num_heads, tokens, self.head_dim)
+
+    def _merge_heads(self, x: Tensor, batch: int) -> Tensor:
+        tokens = x.shape[1]
+        x = x.reshape(batch, self.num_heads, tokens, self.head_dim)
+        x = x.transpose(0, 2, 1, 3)
+        return x.reshape(batch, tokens, self.dim)
+
+    def forward(self, x: Tensor, context: Optional[Tensor] = None) -> Tensor:
+        batch = x.shape[0]
+        context = x if context is None else context
+        query = self._split_heads(self.to_q(x))
+        key = self._split_heads(self.to_k(context))
+        value = self._split_heads(self.to_v(context))
+        attended = F.scaled_dot_product_attention(query, key, value)
+        return self.to_out(self._merge_heads(attended, batch))
+
+
+class FeedForward(Module):
+    """Two-layer GELU feed-forward block used inside transformer blocks."""
+
+    def __init__(self, dim: int, expansion: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.fc1 = Linear(dim, dim * expansion, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(dim * expansion, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: self-attention, cross-attention, MLP."""
+
+    def __init__(self, dim: int, num_heads: int = 4,
+                 context_dim: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.self_attention = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.has_cross_attention = context_dim is not None
+        if self.has_cross_attention:
+            self.norm2 = LayerNorm(dim)
+            self.cross_attention = MultiHeadAttention(
+                dim, num_heads, context_dim=context_dim, rng=rng)
+        self.norm3 = LayerNorm(dim)
+        self.mlp = FeedForward(dim, rng=rng)
+
+    def forward(self, x: Tensor, context: Optional[Tensor] = None) -> Tensor:
+        x = x + self.self_attention(self.norm1(x))
+        if self.has_cross_attention and context is not None:
+            x = x + self.cross_attention(self.norm2(x), context=context)
+        x = x + self.mlp(self.norm3(x))
+        return x
+
+
+class SpatialTransformer(Module):
+    """Apply a transformer block over the spatial positions of a feature map.
+
+    This is the "Attention block" of the U-Net in Figure 1 of the paper: the
+    ``(N, C, H, W)`` feature map is flattened to ``(N, H*W, C)`` tokens,
+    passed through a transformer block (optionally with text cross-attention)
+    and reshaped back.
+    """
+
+    def __init__(self, channels: int, num_heads: int = 4,
+                 context_dim: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.channels = channels
+        self.proj_in = Linear(channels, channels, rng=rng)
+        self.block = TransformerBlock(channels, num_heads,
+                                      context_dim=context_dim, rng=rng)
+        self.proj_out = Linear(channels, channels, rng=rng)
+
+    def forward(self, x: Tensor, context: Optional[Tensor] = None) -> Tensor:
+        n, c, h, w = x.shape
+        tokens = x.reshape(n, c, h * w).transpose(0, 2, 1)
+        tokens = self.proj_in(tokens)
+        tokens = self.block(tokens, context=context)
+        tokens = self.proj_out(tokens)
+        out = tokens.transpose(0, 2, 1).reshape(n, c, h, w)
+        return out + x

@@ -1,0 +1,28 @@
+"""Weight initialization helpers.
+
+Initializers take an explicit :class:`numpy.random.Generator` so that the
+model zoo can build byte-for-byte reproducible "pre-trained" checkpoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kaiming_uniform(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization, the default for conv/linear weights."""
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Zero-mean Gaussian initialization with the given standard deviation."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,201 @@
+"""Module system: parameter containers with named traversal and state dicts.
+
+This mirrors the small subset of ``torch.nn.Module`` behaviour that the
+diffusion models and the quantizer rely on: recursive parameter discovery,
+named submodule traversal (used by the quantizer to locate every Conv2d and
+Linear layer), train/eval flags and state-dict save/load (used by the model
+zoo to cache "pre-trained" checkpoints).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data, requires_grad: bool = True, name: Optional[str] = None):
+        super().__init__(data, requires_grad=requires_grad, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute magic for automatic registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable array that is part of the state dict."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its descendants."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (prefix + name if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}{name}." if prefix else f"{name}."
+            yield from module.named_parameters(child_prefix)
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}{name}." if prefix else f"{name}."
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def get_submodule(self, path: str) -> "Module":
+        """Return the descendant module addressed by a dotted ``path``."""
+        module: Module = self
+        if not path:
+            return module
+        for part in path.split("."):
+            module = module._modules[part]
+        return module
+
+    def set_submodule(self, path: str, new_module: "Module") -> None:
+        """Replace the descendant module addressed by a dotted ``path``."""
+        parts = path.split(".")
+        parent = self.get_submodule(".".join(parts[:-1])) if len(parts) > 1 else self
+        parent._modules[parts[-1]] = new_module
+        object.__setattr__(parent, parts[-1], new_module)
+
+    # ------------------------------------------------------------------
+    # modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def requires_grad_(self, flag: bool) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = flag
+        return self
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters, for model-size reporting."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buf in self._buffers.items():
+            state[prefix + name] = buf.copy()
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key in state:
+                param.data = np.asarray(state[key], dtype=np.float32).reshape(param.shape)
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key], dtype=np.float32)
+                object.__setattr__(self, name, self._buffers[name])
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{name}.")
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run modules in order, feeding each output into the next module."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for index, module in enumerate(modules):
+            name = str(index)
+            self._modules[name] = module
+            object.__setattr__(self, name, module)
+            self._order.append(name)
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x, *args, **kwargs):
+        for name in self._order:
+            x = self._modules[name](x, *args, **kwargs)
+        return x
+
+
+class ModuleList(Module):
+    """Hold an indexable list of submodules (no implicit forward)."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._order: List[str] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        name = str(len(self._order))
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self):
+        return (self._modules[name] for name in self._order)
+
+    def __len__(self):
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]

@@ -1,0 +1,34 @@
+"""Analytical compute/memory characterization (paper Section III)."""
+
+from .cost_model import (
+    BYTES_FP32,
+    BYTES_FP16,
+    BYTES_FP8,
+    LayerCost,
+    flops_by_kind,
+    paper_scale_stable_diffusion_config,
+    total_flops,
+    total_weight_elements,
+    unet_layer_costs,
+)
+from .latency import (
+    CPU_XEON,
+    DEVICE_PROFILES,
+    GPU_V100,
+    DeviceProfile,
+    estimate_latency,
+    grouped_breakdown,
+    latency_breakdown,
+    normalized_breakdown,
+)
+from .memory import MemoryEstimate, estimate_peak_memory, memory_vs_batch_size
+
+__all__ = [
+    "LayerCost", "unet_layer_costs", "total_flops", "total_weight_elements",
+    "flops_by_kind", "paper_scale_stable_diffusion_config",
+    "BYTES_FP32", "BYTES_FP16", "BYTES_FP8",
+    "DeviceProfile", "GPU_V100", "CPU_XEON", "DEVICE_PROFILES",
+    "estimate_latency", "latency_breakdown", "normalized_breakdown",
+    "grouped_breakdown",
+    "MemoryEstimate", "estimate_peak_memory", "memory_vs_batch_size",
+]

@@ -1,0 +1,92 @@
+"""Roofline-style latency estimation over the analytic layer costs.
+
+Each layer's latency on a device is modelled as
+``max(flops / peak_flops, bytes_moved / memory_bandwidth) + launch_overhead``
+— the classic roofline: compute-bound layers are limited by arithmetic
+throughput, memory-bound layers by bandwidth.  Two device profiles mirror the
+platforms of the paper's characterization (an NVIDIA V100-class GPU and an
+Intel Xeon Gold-class CPU); their absolute numbers are datasheet-level, so
+only the *relative* breakdown and GPU-vs-CPU ratios are meaningful, which is
+exactly what Figure 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .cost_model import BYTES_FP32, LayerCost
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Simplified hardware model for roofline latency estimation."""
+
+    name: str
+    peak_flops: float          # floating-point operations per second
+    memory_bandwidth: float    # bytes per second
+    layer_overhead: float      # fixed per-layer launch/dispatch cost in seconds
+
+    def layer_latency(self, cost: LayerCost,
+                      bytes_per_element: int = BYTES_FP32) -> float:
+        compute_time = cost.flops / self.peak_flops
+        bytes_moved = (cost.activation_bytes(bytes_per_element)
+                       + cost.weight_bytes(bytes_per_element))
+        memory_time = bytes_moved / self.memory_bandwidth
+        return max(compute_time, memory_time) + self.layer_overhead
+
+
+#: V100-class GPU: ~14 TFLOPS FP32, ~900 GB/s HBM2, microsecond-scale launches.
+GPU_V100 = DeviceProfile(name="gpu-v100", peak_flops=14e12,
+                         memory_bandwidth=900e9, layer_overhead=8e-6)
+
+#: Xeon Gold 5115-class CPU: ~0.7 TFLOPS FP32, ~100 GB/s, negligible dispatch.
+CPU_XEON = DeviceProfile(name="cpu-xeon", peak_flops=0.7e12,
+                         memory_bandwidth=100e9, layer_overhead=1e-6)
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    GPU_V100.name: GPU_V100,
+    CPU_XEON.name: CPU_XEON,
+}
+
+
+def estimate_latency(costs: Iterable[LayerCost], device: DeviceProfile,
+                     bytes_per_element: int = BYTES_FP32) -> float:
+    """Total estimated latency of one forward pass on ``device``."""
+    return float(sum(device.layer_latency(cost, bytes_per_element)
+                     for cost in costs))
+
+
+def latency_breakdown(costs: Iterable[LayerCost], device: DeviceProfile,
+                      bytes_per_element: int = BYTES_FP32) -> Dict[str, float]:
+    """Latency per layer kind, the quantity plotted in the paper's Figure 4."""
+    breakdown: Dict[str, float] = {}
+    for cost in costs:
+        breakdown[cost.kind] = breakdown.get(cost.kind, 0.0) + device.layer_latency(
+            cost, bytes_per_element)
+    return breakdown
+
+
+def normalized_breakdown(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a latency breakdown so the values sum to 1.0 (Figure 4 style)."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return {kind: 0.0 for kind in breakdown}
+    return {kind: value / total for kind, value in breakdown.items()}
+
+
+def grouped_breakdown(breakdown: Dict[str, float]) -> Dict[str, float]:
+    """Group the kinds into the paper's Figure 4 categories.
+
+    Figure 4 groups layers into Conv2d, Linear (including attention
+    projections and matmuls) and "normalization + SiLU".
+    """
+    groups = {"conv": 0.0, "linear": 0.0, "norm+silu": 0.0}
+    for kind, value in breakdown.items():
+        if kind == "conv":
+            groups["conv"] += value
+        elif kind in ("linear", "attention"):
+            groups["linear"] += value
+        else:
+            groups["norm+silu"] += value
+    return groups

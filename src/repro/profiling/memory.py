@@ -1,0 +1,100 @@
+"""Peak inference memory estimation (paper Section III, Figure 5).
+
+The paper measures peak VRAM of Stable Diffusion inference with Nsight and
+finds it dominated by the attention score tensors (e.g. a
+``(256, 4096, 4096)`` tensor at batch 16 needing ~17 GB in FP32).  The
+estimator here reproduces that accounting analytically:
+
+    peak ≈ weight bytes
+         + live activation bytes of the most expensive layer
+           (for attention layers this includes the score tensor)
+         + skip-connection activations that must stay resident across the
+           U-Net's encoder/decoder span.
+
+Quantization reduces both the weight term and the activation terms in
+proportion to the bytes per element, which is how the paper arrives at the
+4x / 8x reduction potential for FP8 / FP4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..models.unet import UNetConfig
+from .cost_model import BYTES_FP32, LayerCost, unet_layer_costs
+
+
+@dataclass
+class MemoryEstimate:
+    """Breakdown of the peak-memory estimate in bytes."""
+
+    weight_bytes: float
+    peak_layer_bytes: float
+    skip_bytes: float
+    peak_layer_name: str
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.peak_layer_bytes + self.skip_bytes
+
+    @property
+    def total_gib(self) -> float:
+        return self.total_bytes / 2 ** 30
+
+
+def _skip_connection_bytes(config: UNetConfig, sample_size: int, batch_size: int,
+                           activation_bytes: int) -> float:
+    """Bytes held by encoder activations awaiting their decoder concat."""
+    total_elements = 0.0
+    size = sample_size
+    channels = config.base_channels
+    total_elements += batch_size * channels * size * size  # input conv output
+    current = channels
+    for level, multiplier in enumerate(config.channel_multipliers):
+        out_ch = config.base_channels * multiplier
+        for _ in range(config.num_res_blocks):
+            current = out_ch
+            total_elements += batch_size * current * size * size
+        if level != len(config.channel_multipliers) - 1:
+            size //= 2
+            total_elements += batch_size * current * size * size
+    return total_elements * activation_bytes
+
+
+def estimate_peak_memory(config: UNetConfig, sample_size: int, batch_size: int,
+                         weight_bytes_per_element: int = BYTES_FP32,
+                         activation_bytes_per_element: int = BYTES_FP32,
+                         context_tokens: int = 16) -> MemoryEstimate:
+    """Estimate peak inference memory for one U-Net forward pass."""
+    costs: List[LayerCost] = unet_layer_costs(config, sample_size, batch_size,
+                                              context_tokens)
+    weight_bytes = sum(c.weight_elements for c in costs) * weight_bytes_per_element
+
+    peak_layer_bytes = 0.0
+    peak_layer_name = ""
+    for cost in costs:
+        live = (cost.input_elements + cost.output_elements
+                + cost.extra.get("score_elements", 0.0))
+        live_bytes = live * activation_bytes_per_element
+        if live_bytes > peak_layer_bytes:
+            peak_layer_bytes = live_bytes
+            peak_layer_name = cost.name
+
+    skip_bytes = _skip_connection_bytes(config, sample_size, batch_size,
+                                        activation_bytes_per_element)
+    return MemoryEstimate(weight_bytes=weight_bytes,
+                          peak_layer_bytes=peak_layer_bytes,
+                          skip_bytes=skip_bytes,
+                          peak_layer_name=peak_layer_name)
+
+
+def memory_vs_batch_size(config: UNetConfig, sample_size: int,
+                         batch_sizes, bytes_per_element: int = BYTES_FP32,
+                         context_tokens: int = 16) -> Dict[int, MemoryEstimate]:
+    """Peak-memory estimates across batch sizes (the series of Figure 5)."""
+    return {batch: estimate_peak_memory(config, sample_size, batch,
+                                        weight_bytes_per_element=bytes_per_element,
+                                        activation_bytes_per_element=bytes_per_element,
+                                        context_tokens=context_tokens)
+            for batch in batch_sizes}

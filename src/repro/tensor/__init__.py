@@ -1,0 +1,14 @@
+"""numpy-backed tensor and autograd engine used throughout the reproduction."""
+
+from .tensor import Tensor, concatenate, stack, where, no_grad, is_grad_enabled
+from . import functional
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+]

@@ -1,0 +1,160 @@
+"""Structured tensor operations: convolution, pooling, resampling, attention.
+
+These are implemented on top of the :class:`repro.tensor.Tensor` autograd
+primitives so that both the diffusion models and the rounding-learning
+optimization of the quantizer can differentiate through them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
+            padding: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange image patches into columns for convolution as a matmul.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        Spatial kernel size ``(kh, kw)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, out_h * out_w, C * kh * kw)``.
+    (out_h, out_w):
+        Output spatial dimensions.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ph, pw = x.shape[2], x.shape[3]
+    out_h = (ph - kh) // stride + 1
+    out_w = (pw - kw) // stride + 1
+    strides = x.strides
+    shape = (n, c, out_h, out_w, kh, kw)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride,
+                 strides[3] * stride, strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), (out_h, out_w)
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int],
+            kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`_im2col`, accumulating overlapping patches."""
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    ph, pw = h + 2 * padding, w + 2 * padding
+    out_h = (ph - kh) // stride + 1
+    out_w = (pw - kw) // stride + 1
+    padded = np.zeros((n, c, ph, pw), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += \
+                cols[:, :, :, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution with autograd support.
+
+    ``x`` has shape ``(N, C_in, H, W)`` and ``weight`` has shape
+    ``(C_out, C_in, kh, kw)``.  Implemented with im2col so the heavy lifting
+    is a single matmul, which keeps the pure-Python overhead manageable.
+    """
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
+    w_mat = weight.data.reshape(c_out, -1)
+    out = cols @ w_mat.T  # (N, L, C_out)
+    if bias is not None:
+        out = out + bias.data.reshape(1, 1, c_out)
+    out = out.transpose(0, 2, 1).reshape(n, c_out, out_h, out_w)
+
+    parents = [x, weight] if bias is None else [x, weight, bias]
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, c_out, out_h * out_w).transpose(0, 2, 1)
+        if weight.requires_grad:
+            grad_w = np.einsum("nlc,nlk->ck", grad_mat, cols).reshape(weight.shape)
+            weight._accumulate(grad_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 1)))
+        if x.requires_grad:
+            grad_cols = grad_mat @ w_mat
+            grad_x = _col2im(grad_cols, x.shape, (kh, kw), stride, padding)
+            x._accumulate(grad_x)
+
+    return Tensor._make(out, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` over the last dimension."""
+    out = x.matmul(weight.transpose())
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Average pooling with a square kernel and matching stride."""
+    n, c, h, w = x.shape
+    out_h, out_w = h // kernel, w // kernel
+    view = x.data[:, :, :out_h * kernel, :out_w * kernel]
+    view = view.reshape(n, c, out_h, kernel, out_w, kernel)
+    out = view.mean(axis=(3, 5))
+
+    def backward(grad):
+        expanded = np.repeat(np.repeat(grad, kernel, axis=2), kernel, axis=3)
+        full = np.zeros_like(x.data)
+        full[:, :, :out_h * kernel, :out_w * kernel] = expanded / (kernel * kernel)
+        x._accumulate(full)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def upsample_nearest(x: Tensor, scale: int = 2) -> Tensor:
+    """Nearest-neighbour spatial upsampling by an integer factor."""
+    out = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+
+    def backward(grad):
+        n, c, h, w = x.shape
+        grad = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        x._accumulate(grad)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor,
+                                 value: Tensor) -> Tensor:
+    """Attention ``softmax(Q K^T / sqrt(d)) V`` over the last two dims.
+
+    Shapes follow the usual ``(batch*heads, tokens, head_dim)`` convention.
+    """
+    d = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+    weights = scores.softmax(axis=-1)
+    return weights.matmul(value)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error between two tensors."""
+    diff = prediction - target
+    return (diff * diff).mean()

@@ -1,0 +1,94 @@
+"""Pre-training and checkpoint caching for the named diffusion models."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..data import PromptDataset, rooms, shapes10
+from ..diffusion.training import train_autoencoder, train_denoiser
+from ..models import DiffusionModel, build_model, get_model_spec
+
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_ZOO_CACHE", Path(__file__).resolve().parents[3] / ".zoo_cache"))
+
+
+@dataclass
+class PretrainConfig:
+    """How much training each zoo checkpoint receives.
+
+    The defaults are sized so that a checkpoint trains in seconds while still
+    moving the weights well away from their initialization (so that PTQ is
+    applied to a genuinely "trained" distribution of weights/activations).
+    """
+
+    dataset_size: int = 96
+    autoencoder_steps: int = 40
+    denoiser_steps: int = 80
+    batch_size: int = 8
+    learning_rate: float = 2e-3
+    seed: int = 0
+
+
+def zoo_cache_path(name: str, config: PretrainConfig,
+                   cache_dir: Optional[Path] = None) -> Path:
+    """Deterministic cache file path for a model/config pair."""
+    cache_dir = Path(cache_dir or DEFAULT_CACHE_DIR)
+    tag = (f"{name}_ds{config.dataset_size}_ae{config.autoencoder_steps}"
+           f"_dn{config.denoiser_steps}_bs{config.batch_size}_seed{config.seed}")
+    return cache_dir / f"{tag}.npz"
+
+
+def _training_data(name: str, config: PretrainConfig):
+    """Return (images, prompts-or-None) for a model's training run."""
+    spec = get_model_spec(name)
+    if spec.task == "text-to-image":
+        dataset = PromptDataset(config.dataset_size, image_size=spec.image_size,
+                                seed=config.seed)
+        return dataset.reference_images(), dataset.prompts
+    if name == "ddim-cifar10":
+        images, _ = shapes10(config.dataset_size, size=spec.image_size,
+                             seed=config.seed)
+        return images, None
+    return rooms(config.dataset_size, size=spec.image_size, seed=config.seed), None
+
+
+def pretrain(name: str, config: Optional[PretrainConfig] = None) -> DiffusionModel:
+    """Train a fresh model of the given name and return it (no caching)."""
+    config = config or PretrainConfig()
+    spec = get_model_spec(name)
+    model = build_model(name, rng=np.random.default_rng(spec.seed))
+    images, prompts = _training_data(name, config)
+    if model.autoencoder is not None:
+        train_autoencoder(model, images, num_steps=config.autoencoder_steps,
+                          batch_size=config.batch_size, lr=config.learning_rate,
+                          seed=config.seed)
+    train_denoiser(model, images, prompts=prompts, num_steps=config.denoiser_steps,
+                   batch_size=config.batch_size, lr=config.learning_rate,
+                   seed=config.seed)
+    model.eval()
+    return model
+
+
+def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
+                    cache_dir: Optional[Path] = None,
+                    use_cache: bool = True) -> DiffusionModel:
+    """Load (or train and cache) the pre-trained checkpoint for ``name``."""
+    config = config or PretrainConfig()
+    path = zoo_cache_path(name, config, cache_dir)
+    spec = get_model_spec(name)
+    if use_cache and path.exists():
+        model = build_model(name, rng=np.random.default_rng(spec.seed))
+        with np.load(path) as archive:
+            model.load_state_dict({key: archive[key] for key in archive.files})
+        model.eval()
+        return model
+    model = pretrain(name, config)
+    if use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, **model.state_dict())
+    return model

@@ -1,0 +1,81 @@
+"""Shared fixtures: tiny models and pipelines reused across the test suite.
+
+Session-scoped fixtures keep the expensive pieces (short training runs,
+calibration collection) to a single execution per test session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import PromptDataset
+from repro.diffusion import DiffusionPipeline
+from repro.models import DiffusionModel, ModelSpec, UNetConfig
+from repro.zoo import PretrainConfig, load_pretrained
+
+
+TINY_UNET = UNetConfig(in_channels=3, out_channels=3, base_channels=8,
+                       channel_multipliers=(1, 2), num_res_blocks=1,
+                       attention_levels=(1,), num_heads=2)
+
+
+def make_tiny_spec(name: str = "tiny-unconditional", task: str = "unconditional",
+                   latent: bool = False) -> ModelSpec:
+    """A minimal model spec used for fast unit tests."""
+    unet = UNetConfig(
+        in_channels=4 if latent else 3, out_channels=4 if latent else 3,
+        base_channels=8, channel_multipliers=(1, 2), num_res_blocks=1,
+        attention_levels=(1,), num_heads=2,
+        context_dim=16 if task == "text-to-image" else None)
+    return ModelSpec(
+        name=name, task=task, image_size=16, image_channels=3,
+        latent=latent, latent_channels=4, latent_downsample=4,
+        unet=unet, text_embed_dim=16 if task == "text-to-image" else None,
+        train_timesteps=20, default_sampling_steps=4, seed=3)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A small untrained unconditional diffusion model (pixel space)."""
+    return DiffusionModel(make_tiny_spec(), rng=np.random.default_rng(1))
+
+
+@pytest.fixture(scope="session")
+def tiny_pipeline(tiny_model):
+    return DiffusionPipeline(tiny_model, num_steps=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_text_model():
+    """A small untrained text-to-image latent diffusion model."""
+    spec = make_tiny_spec(name="tiny-text", task="text-to-image", latent=True)
+    return DiffusionModel(spec, rng=np.random.default_rng(2))
+
+
+@pytest.fixture(scope="session")
+def tiny_text_pipeline(tiny_text_model):
+    return DiffusionPipeline(tiny_text_model, num_steps=4)
+
+
+@pytest.fixture(scope="session")
+def fast_pretrain_config():
+    """A very small training budget for zoo models used in integration tests."""
+    return PretrainConfig(dataset_size=32, autoencoder_steps=10,
+                          denoiser_steps=20, batch_size=8)
+
+
+@pytest.fixture(scope="session")
+def pretrained_cifar(fast_pretrain_config, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("zoo_cache")
+    return load_pretrained("ddim-cifar10", fast_pretrain_config, cache_dir=cache)
+
+
+@pytest.fixture(scope="session")
+def prompt_dataset():
+    return PromptDataset(num_prompts=12, image_size=32, seed=9)

@@ -1,0 +1,117 @@
+"""Tests for the synthetic datasets and the prompt grammar/renderer."""
+
+import numpy as np
+
+from repro.data import (
+    COLORS,
+    NUM_SHAPE_CLASSES,
+    PromptDataset,
+    PromptSpec,
+    render_prompt,
+    rooms,
+    sample_prompt_specs,
+    shapes10,
+)
+
+
+class TestShapes10:
+    def test_shapes_and_range(self):
+        images, labels = shapes10(20, size=16, seed=0)
+        assert images.shape == (20, 3, 16, 16)
+        assert labels.shape == (20,)
+        assert images.min() >= -1.0 and images.max() <= 1.0
+        assert set(np.unique(labels)).issubset(set(range(NUM_SHAPE_CLASSES)))
+
+    def test_deterministic_given_seed(self):
+        a, la = shapes10(8, seed=3)
+        b, lb = shapes10(8, seed=3)
+        np.testing.assert_allclose(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_different_seeds_differ(self):
+        a, _ = shapes10(8, seed=1)
+        b, _ = shapes10(8, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_explicit_labels_respected(self):
+        labels = np.array([0, 1, 2, 3])
+        _, out_labels = shapes10(4, labels=labels, seed=0)
+        np.testing.assert_array_equal(out_labels, labels)
+
+    def test_classes_are_visually_distinct(self):
+        images, _ = shapes10(NUM_SHAPE_CLASSES, size=16, seed=0,
+                             labels=np.arange(NUM_SHAPE_CLASSES))
+        flattened = images.reshape(NUM_SHAPE_CLASSES, -1)
+        # No two class exemplars should be near-identical.
+        for i in range(NUM_SHAPE_CLASSES):
+            for j in range(i + 1, NUM_SHAPE_CLASSES):
+                assert np.mean(np.abs(flattened[i] - flattened[j])) > 0.01
+
+
+class TestRooms:
+    def test_shapes_and_range(self):
+        images = rooms(10, size=32, seed=0)
+        assert images.shape == (10, 3, 32, 32)
+        assert images.min() >= -1.0 and images.max() <= 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_allclose(rooms(4, seed=7), rooms(4, seed=7))
+
+    def test_scene_has_structure(self):
+        image = rooms(1, size=32, seed=0)[0]
+        # The top (wall) and bottom (floor) halves should have different means.
+        top, bottom = image[:, :10].mean(), image[:, -10:].mean()
+        assert abs(top - bottom) > 0.01
+
+
+class TestPrompts:
+    def test_prompt_specs_deterministic(self):
+        a = sample_prompt_specs(10, seed=4)
+        b = sample_prompt_specs(10, seed=4)
+        assert a == b
+
+    def test_prompt_text_mentions_components(self):
+        spec = PromptSpec(color_a="red", shape_a="circle", size_a="small",
+                          relation="above", color_b="blue", shape_b="square",
+                          background="gray")
+        text = spec.to_text()
+        for word in ("red", "circle", "above", "blue", "square", "gray"):
+            assert word in text
+
+    def test_render_prompt_shape_and_colors(self):
+        spec = PromptSpec(color_a="red", shape_a="circle", size_a="large",
+                          relation="above", color_b="blue", shape_b="square",
+                          background="dark")
+        image = render_prompt(spec, size=32)
+        assert image.shape == (3, 32, 32)
+        assert image.min() >= -1.0 and image.max() <= 1.0
+        # The red channel must contain bright pixels where the circle is drawn.
+        red_channel = (image[0] + 1.0) / 2.0
+        assert red_channel.max() > 0.8
+
+    def test_render_depends_on_spec(self):
+        a = render_prompt(PromptSpec("red", "circle", "small", "above",
+                                     "blue", "square", "gray"))
+        b = render_prompt(PromptSpec("green", "ring", "large", "below",
+                                     "yellow", "cross", "dark"))
+        assert not np.allclose(a, b)
+
+    def test_prompt_dataset_pairs(self):
+        dataset = PromptDataset(num_prompts=6, image_size=16, seed=0)
+        assert len(dataset) == 6
+        assert len(dataset.prompts) == 6
+        images = dataset.reference_images()
+        assert images.shape == (6, 3, 16, 16)
+
+    def test_prompt_dataset_subset(self):
+        dataset = PromptDataset(num_prompts=6, image_size=16, seed=0)
+        subset = dataset.subset(3)
+        assert len(subset) == 3
+        assert subset.prompts == dataset.prompts[:3]
+
+    def test_all_colors_renderable(self):
+        for color in COLORS:
+            spec = PromptSpec(color, "circle", "small", "above", color,
+                              "square", "gray")
+            image = render_prompt(spec, size=16)
+            assert np.isfinite(image).all()

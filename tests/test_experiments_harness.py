@@ -1,0 +1,54 @@
+"""Tests for the experiment harness shared by the benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_CONFIGS
+from repro.experiments import BenchSettings, ExperimentRow, TableResult
+from repro.experiments.harness import PAPER_ROW_ORDER, _dataset_reference
+from repro.metrics import EvaluationResult
+
+
+class TestBenchSettings:
+    def test_scale_config_applies_budgets(self):
+        settings = BenchSettings(num_bias_candidates=7, rounding_iterations=3,
+                                 calibration_samples=2)
+        scaled = settings.scale_config(PAPER_CONFIGS["FP4/FP8"])
+        assert scaled.num_bias_candidates == 7
+        assert scaled.rounding.iterations == 3
+        assert scaled.calibration.num_samples == 2
+        # The original preset must not be mutated.
+        assert PAPER_CONFIGS["FP4/FP8"].num_bias_candidates == 111
+
+    def test_row_order_covers_paper_tables(self):
+        assert set(PAPER_ROW_ORDER) == set(PAPER_CONFIGS)
+
+
+class TestDatasetReference:
+    @pytest.mark.parametrize("model_name,size", [
+        ("ddim-cifar10", 16), ("ldm-bedroom", 32), ("stable-diffusion", 32)])
+    def test_reference_shapes(self, model_name, size):
+        images = _dataset_reference(model_name, 6, size, seed=0)
+        assert images.shape == (6, 3, size, size)
+        assert np.all(np.isfinite(images))
+
+
+class TestTableResult:
+    def _table(self):
+        metrics = {"dataset": EvaluationResult(fid=1.0, sfid=2.0, precision=0.5,
+                                               recall=0.4)}
+        rows = [ExperimentRow(label="FP8/FP8", metrics=metrics)]
+        return TableResult(model_name="ddim-cifar10", reference_names=["dataset"],
+                           rows=rows, settings=BenchSettings(num_images=4))
+
+    def test_row_lookup(self):
+        table = self._table()
+        assert table.row("FP8/FP8").label == "FP8/FP8"
+        with pytest.raises(KeyError):
+            table.row("INT8/INT8")
+
+    def test_format_table_mentions_rows_and_references(self):
+        text = self._table().format_table()
+        assert "FP8/FP8" in text
+        assert "dataset" in text
+        assert "ddim-cifar10" in text

@@ -1,0 +1,100 @@
+"""Tests for the low-bitwidth floating-point format definitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FP4_ENCODINGS, FP8_ENCODINGS, FPFormat, encoding_candidates
+
+
+class TestFPFormat:
+    def test_bitwidths(self):
+        assert all(fmt.bitwidth == 8 for fmt in FP8_ENCODINGS)
+        assert all(fmt.bitwidth == 4 for fmt in FP4_ENCODINGS)
+
+    def test_names(self):
+        assert {fmt.name for fmt in FP8_ENCODINGS} == {"E2M5", "E3M4", "E4M3", "E5M2"}
+        assert {fmt.name for fmt in FP4_ENCODINGS} == {"E1M2", "E2M1"}
+
+    def test_from_name_roundtrip(self):
+        fmt = FPFormat.from_name("E4M3")
+        assert fmt.exponent_bits == 4 and fmt.mantissa_bits == 3
+        assert fmt.bias == 8.0  # default bias 2^(e-1)
+
+    def test_from_name_invalid(self):
+        with pytest.raises(ValueError):
+            FPFormat.from_name("INT8")
+
+    def test_max_value_matches_equation_7(self):
+        fmt = FPFormat(exponent_bits=4, mantissa_bits=3, bias=8.0)
+        expected = (2 - 2 ** -3) * 2 ** (2 ** 4 - 8 - 1)
+        assert fmt.max_value == pytest.approx(expected)
+
+    def test_e4m3_default_max_is_240(self):
+        # With bias 2^(e-1)=8 the classic E4M3 (no reserved NaN) maxes at 240.
+        assert FPFormat.from_name("E4M3").max_value == pytest.approx(240.0)
+
+    def test_bias_for_max_value_inverts_equation_7(self):
+        for exponent_bits, mantissa_bits in [(4, 3), (2, 1), (5, 2)]:
+            target = 7.3
+            bias = FPFormat.bias_for_max_value(exponent_bits, mantissa_bits, target)
+            fmt = FPFormat(exponent_bits, mantissa_bits, bias)
+            assert fmt.max_value == pytest.approx(target, rel=1e-9)
+
+    def test_bias_for_nonpositive_max_raises(self):
+        with pytest.raises(ValueError):
+            FPFormat.bias_for_max_value(4, 3, 0.0)
+
+    def test_with_bias_changes_range(self):
+        fmt = FPFormat.from_name("E4M3")
+        wider = fmt.with_bias(fmt.bias - 1)
+        assert wider.max_value == pytest.approx(2 * fmt.max_value)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            FPFormat(exponent_bits=0, mantissa_bits=3, bias=1.0)
+        with pytest.raises(ValueError):
+            FPFormat(exponent_bits=2, mantissa_bits=-1, bias=1.0)
+
+    def test_representable_values_count(self):
+        # E2M1: exponent field in {0..3}, mantissa 1 bit: 3 normal binades * 2
+        # values + 1 subnormal + zero = 8 distinct non-negative magnitudes.
+        fmt = FPFormat(2, 1, FPFormat.default_bias(2))
+        values = fmt.representable_values()
+        assert len(values) == 8
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(fmt.max_value)
+
+    def test_representable_values_sorted_unique(self):
+        for fmt in FP8_ENCODINGS:
+            values = fmt.representable_values()
+            assert np.all(np.diff(values) > 0)
+
+    def test_encoding_candidates_lookup(self):
+        assert len(encoding_candidates(8)) == 4
+        assert len(encoding_candidates(4)) == 2
+        with pytest.raises(ValueError):
+            encoding_candidates(6)
+
+
+class TestFormatProperties:
+    @given(exponent_bits=st.integers(min_value=1, max_value=5),
+           mantissa_bits=st.integers(min_value=0, max_value=5),
+           max_value=st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=50, deadline=None)
+    def test_bias_inversion_property(self, exponent_bits, mantissa_bits, max_value):
+        bias = FPFormat.bias_for_max_value(exponent_bits, mantissa_bits, max_value)
+        fmt = FPFormat(exponent_bits, mantissa_bits, float(bias))
+        assert fmt.max_value == pytest.approx(max_value, rel=1e-6)
+
+    @given(exponent_bits=st.integers(min_value=1, max_value=4),
+           mantissa_bits=st.integers(min_value=0, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_grid_size_matches_bit_budget(self, exponent_bits, mantissa_bits):
+        fmt = FPFormat(exponent_bits, mantissa_bits,
+                       FPFormat.default_bias(exponent_bits))
+        values = fmt.representable_values()
+        # Non-negative magnitudes: 2^(e+m) codes minus the duplicated zero in
+        # the subnormal range never exceed the bit budget.
+        assert len(values) <= 2 ** (exponent_bits + mantissa_bits)

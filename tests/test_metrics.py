@@ -1,0 +1,146 @@
+"""Tests for FID, sFID, Precision/Recall, the CLIP-score substitute and the suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import PromptDataset, rooms, shapes10
+from repro.metrics import (
+    EvaluationResult,
+    FeatureExtractor,
+    clip_score,
+    compute_fid,
+    compute_precision_recall,
+    compute_sfid,
+    default_extractor,
+    evaluate_images,
+    frechet_distance,
+    manifold_coverage,
+)
+
+
+@pytest.fixture(scope="module")
+def image_sets():
+    clean, _ = shapes10(48, size=16, seed=0)
+    noisy = np.clip(clean + np.random.default_rng(1).normal(0, 0.3, clean.shape), -1, 1)
+    very_noisy = np.clip(clean + np.random.default_rng(2).normal(0, 1.0, clean.shape), -1, 1)
+    other = rooms(48, size=16, seed=3)
+    return {"clean": clean.astype(np.float32), "noisy": noisy.astype(np.float32),
+            "very_noisy": very_noisy.astype(np.float32), "other": other}
+
+
+class TestFeatureExtractor:
+    def test_pooled_feature_shape(self, image_sets):
+        extractor = FeatureExtractor()
+        features = extractor.pooled_features(image_sets["clean"][:8])
+        assert features.shape == (8, extractor.config.pooled_dim)
+
+    def test_spatial_feature_shape_consistent(self, image_sets):
+        extractor = FeatureExtractor()
+        features = extractor.spatial_features(image_sets["clean"][:8])
+        assert features.ndim == 2 and features.shape[0] == 8
+
+    def test_deterministic_across_instances(self, image_sets):
+        a = FeatureExtractor().pooled_features(image_sets["clean"][:4])
+        b = FeatureExtractor().pooled_features(image_sets["clean"][:4])
+        np.testing.assert_allclose(a, b)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor().pooled_features(np.zeros((2, 1, 8, 8), dtype=np.float32))
+
+    def test_default_extractor_is_shared(self):
+        assert default_extractor() is default_extractor()
+
+
+class TestFID:
+    def test_identical_sets_give_near_zero(self, image_sets):
+        assert compute_fid(image_sets["clean"], image_sets["clean"]) < 1e-3
+        assert compute_sfid(image_sets["clean"], image_sets["clean"]) < 1e-3
+
+    def test_fid_increases_with_corruption(self, image_sets):
+        fid_noisy = compute_fid(image_sets["noisy"], image_sets["clean"])
+        fid_very = compute_fid(image_sets["very_noisy"], image_sets["clean"])
+        assert 0.0 < fid_noisy < fid_very
+
+    def test_fid_large_for_different_distributions(self, image_sets):
+        cross = compute_fid(image_sets["other"], image_sets["clean"])
+        within = compute_fid(image_sets["noisy"], image_sets["clean"])
+        assert cross > within
+
+    def test_frechet_distance_of_identical_gaussians_zero(self):
+        mu = np.zeros(4)
+        sigma = np.eye(4)
+        assert frechet_distance(mu, sigma, mu, sigma) == pytest.approx(0.0, abs=1e-8)
+
+    def test_frechet_distance_mean_shift(self):
+        mu = np.zeros(3)
+        sigma = np.eye(3)
+        shifted = np.array([2.0, 0.0, 0.0])
+        assert frechet_distance(mu, sigma, shifted, sigma) == pytest.approx(4.0, rel=1e-6)
+
+    def test_frechet_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 5))
+        b = rng.standard_normal((64, 5)) + 1.0
+        mu_a, sig_a = a.mean(0), np.cov(a, rowvar=False)
+        mu_b, sig_b = b.mean(0), np.cov(b, rowvar=False)
+        forward = frechet_distance(mu_a, sig_a, mu_b, sig_b)
+        backward = frechet_distance(mu_b, sig_b, mu_a, sig_a)
+        assert forward == pytest.approx(backward, rel=1e-4)
+
+
+class TestPrecisionRecall:
+    def test_identical_sets_have_full_coverage(self, image_sets):
+        result = compute_precision_recall(image_sets["clean"], image_sets["clean"])
+        assert result.precision == pytest.approx(1.0)
+        assert result.recall == pytest.approx(1.0)
+
+    def test_disjoint_distributions_have_low_recall(self, image_sets):
+        # Reference (shapes) samples are not covered by the manifold of a
+        # disjoint generated set (rooms), so recall collapses.
+        result = compute_precision_recall(image_sets["other"], image_sets["clean"])
+        assert result.recall < 0.5
+
+    def test_values_are_probabilities(self, image_sets):
+        result = compute_precision_recall(image_sets["noisy"], image_sets["clean"])
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+
+    def test_manifold_coverage_edge_cases(self):
+        support = np.random.default_rng(0).standard_normal((10, 4))
+        assert manifold_coverage(np.zeros((0, 4)), support, k=3) == 0.0
+        assert manifold_coverage(support, support[:1], k=3) == 0.0
+
+
+class TestClipScore:
+    def test_rendered_targets_score_highest(self):
+        dataset = PromptDataset(num_prompts=8, image_size=16, seed=0)
+        references = dataset.reference_images()
+        perfect = clip_score(references, dataset.specs)
+        rng = np.random.default_rng(1)
+        random_images = rng.uniform(-1, 1, references.shape).astype(np.float32)
+        random = clip_score(random_images, dataset.specs)
+        assert perfect > random
+        assert perfect <= 100.0 + 1e-6
+
+    def test_mismatched_lengths_raise(self):
+        dataset = PromptDataset(num_prompts=4, image_size=16, seed=0)
+        with pytest.raises(ValueError):
+            clip_score(dataset.reference_images()[:2], dataset.specs)
+
+
+class TestEvaluationSuite:
+    def test_full_row_with_clip(self, image_sets):
+        dataset = PromptDataset(num_prompts=48, image_size=16, seed=0)
+        result = evaluate_images(image_sets["noisy"], image_sets["clean"],
+                                 prompt_specs=dataset.specs)
+        assert result.fid > 0 and result.sfid > 0
+        assert result.clip is not None
+        row = result.as_row("FP8/FP8")
+        assert "FP8/FP8" in row
+        assert len(EvaluationResult.header(with_clip=True)) > 0
+
+    def test_row_without_clip(self, image_sets):
+        result = evaluate_images(image_sets["noisy"], image_sets["clean"])
+        assert result.clip is None
+        assert "CLIP" not in EvaluationResult.header(with_clip=False)

@@ -1,0 +1,168 @@
+"""Tests for the U-Net, autoencoder, text encoder and named model specs."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MODEL_SPECS,
+    Autoencoder,
+    DiffusionModel,
+    HashTokenizer,
+    SkipConcat,
+    TextEncoder,
+    UNet,
+    UNetConfig,
+    build_model,
+    get_model_spec,
+    timestep_embedding,
+)
+from repro.tensor import Tensor
+
+from conftest import make_tiny_spec
+
+
+class TestTimestepEmbedding:
+    def test_shape_and_determinism(self):
+        emb = timestep_embedding(np.array([0, 5, 10]), 16)
+        assert emb.shape == (3, 16)
+        emb2 = timestep_embedding(np.array([0, 5, 10]), 16)
+        np.testing.assert_allclose(emb.data, emb2.data)
+
+    def test_different_timesteps_differ(self):
+        emb = timestep_embedding(np.array([1, 50]), 32).data
+        assert not np.allclose(emb[0], emb[1])
+
+    def test_odd_dimension_padded(self):
+        assert timestep_embedding(np.array([3]), 7).shape == (1, 7)
+
+
+class TestUNet:
+    @pytest.fixture(scope="class")
+    def unet(self):
+        config = UNetConfig(in_channels=3, out_channels=3, base_channels=8,
+                            channel_multipliers=(1, 2), num_res_blocks=1,
+                            attention_levels=(1,), num_heads=2)
+        return UNet(config, rng=np.random.default_rng(0))
+
+    def test_output_shape_matches_input(self, unet):
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        out = unet(x, np.array([3, 7]))
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_different_timesteps_change_output(self, unet):
+        x = Tensor(np.random.default_rng(2).standard_normal((1, 3, 16, 16)).astype(np.float32))
+        out_a = unet(x, np.array([0])).data
+        out_b = unet(x, np.array([19])).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_has_skip_concats(self, unet):
+        skips = [m for m in unet.modules() if isinstance(m, SkipConcat)]
+        assert len(skips) >= 2
+
+    def test_cross_attention_context_changes_output(self):
+        config = UNetConfig(in_channels=4, out_channels=4, base_channels=8,
+                            channel_multipliers=(1, 2), num_res_blocks=1,
+                            attention_levels=(0, 1), num_heads=2, context_dim=16)
+        unet = UNet(config, rng=np.random.default_rng(3))
+        x = Tensor(np.random.default_rng(4).standard_normal((1, 4, 8, 8)).astype(np.float32))
+        ctx_a = Tensor(np.random.default_rng(5).standard_normal((1, 6, 16)).astype(np.float32))
+        ctx_b = Tensor(np.random.default_rng(6).standard_normal((1, 6, 16)).astype(np.float32))
+        out_a = unet(x, np.array([1]), context=ctx_a).data
+        out_b = unet(x, np.array([1]), context=ctx_b).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_three_level_unet_runs(self):
+        config = UNetConfig(in_channels=3, out_channels=3, base_channels=8,
+                            channel_multipliers=(1, 2, 4), num_res_blocks=1,
+                            attention_levels=(2,), num_heads=2)
+        unet = UNet(config, rng=np.random.default_rng(7))
+        x = Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32))
+        assert unet(x, np.array([0])).shape == (1, 3, 16, 16)
+
+
+class TestAutoencoder:
+    def test_roundtrip_shapes(self):
+        ae = Autoencoder(in_channels=3, latent_channels=4, downsample_factor=4,
+                         rng=np.random.default_rng(0))
+        images = Tensor(np.random.default_rng(1).standard_normal((2, 3, 16, 16)).astype(np.float32))
+        latents = ae.encode(images)
+        assert latents.shape == (2, 4, 4, 4)
+        decoded = ae.decode(latents)
+        assert decoded.shape == (2, 3, 16, 16)
+        assert np.all(np.abs(decoded.data) <= 1.0)
+
+    def test_latent_shape_helper(self):
+        ae = Autoencoder(latent_channels=4, downsample_factor=4)
+        assert ae.latent_shape((32, 32)) == (4, 8, 8)
+
+    def test_rejects_non_power_of_two_factor(self):
+        with pytest.raises(ValueError):
+            Autoencoder(downsample_factor=3)
+
+    def test_scaling_factor_applied(self):
+        ae = Autoencoder(scaling_factor=2.0, rng=np.random.default_rng(2))
+        images = Tensor(np.ones((1, 3, 16, 16), dtype=np.float32))
+        scaled = ae.encode(images).data
+        ae.scaling_factor = 1.0
+        unscaled = ae.encode(images).data
+        np.testing.assert_allclose(scaled, 2.0 * unscaled, rtol=1e-5)
+
+
+class TestTextEncoder:
+    def test_tokenizer_is_deterministic_and_padded(self):
+        tok = HashTokenizer(vocab_size=128, max_length=8)
+        ids_a = tok.encode("a red circle above a blue square")
+        ids_b = tok.encode("a red circle above a blue square")
+        np.testing.assert_array_equal(ids_a, ids_b)
+        assert ids_a.shape == (8,)
+        assert ids_a[0] == tok.bos_id
+
+    def test_tokenizer_distinguishes_words(self):
+        tok = HashTokenizer()
+        assert not np.array_equal(tok.encode("red circle"), tok.encode("blue square"))
+
+    def test_encode_prompts_shape(self):
+        encoder = TextEncoder(embed_dim=16, num_layers=1, num_heads=2,
+                              rng=np.random.default_rng(0))
+        out = encoder.encode_prompts(["a red circle", "a blue square on a dark background"])
+        assert out.shape == (2, encoder.tokenizer.max_length, 16)
+
+    def test_different_prompts_produce_different_embeddings(self):
+        encoder = TextEncoder(embed_dim=16, num_layers=1, num_heads=2,
+                              rng=np.random.default_rng(1))
+        out = encoder.encode_prompts(["a red circle", "a blue square"]).data
+        assert not np.allclose(out[0], out[1])
+
+
+class TestModelSpecs:
+    def test_all_named_models_instantiate(self):
+        for name in MODEL_SPECS:
+            model = build_model(name)
+            assert isinstance(model, DiffusionModel)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model_spec("does-not-exist")
+
+    def test_sample_shape_latent_vs_pixel(self):
+        assert get_model_spec("ddim-cifar10").sample_shape == (3, 16, 16)
+        assert get_model_spec("stable-diffusion").sample_shape == (4, 8, 8)
+
+    def test_sdxl_unet_is_larger_than_stable_diffusion(self):
+        sd = build_model("stable-diffusion")
+        sdxl = build_model("sdxl")
+        assert sdxl.unet.num_parameters() > 2.5 * sd.unet.num_parameters()
+
+    def test_text_to_image_models_have_text_encoder(self):
+        assert build_model("stable-diffusion").text_encoder is not None
+        assert build_model("ddim-cifar10").text_encoder is None
+
+    def test_latent_models_have_autoencoder(self):
+        assert build_model("ldm-bedroom").autoencoder is not None
+        assert build_model("ddim-cifar10").autoencoder is None
+
+    def test_tiny_spec_helper_builds(self):
+        model = DiffusionModel(make_tiny_spec(), rng=np.random.default_rng(0))
+        assert isinstance(model.unet, UNet)
+        assert isinstance(model.unet.input_conv, nn.Conv2d)

@@ -1,0 +1,190 @@
+"""Unit and property-based tests for the FP and INT quantization primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    FPFormat,
+    calibrate_int_format,
+    fp_scales,
+    int_quantization_mse,
+    quantization_mse,
+    quantize_fp,
+    quantize_fp_with_rounding,
+    quantize_int,
+)
+
+E4M3 = FPFormat.from_name("E4M3")
+E2M1 = FPFormat.from_name("E2M1")
+
+finite_arrays = hnp.arrays(
+    dtype=np.float32, shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=40),
+    elements=st.floats(min_value=-50.0, max_value=50.0, width=32))
+
+
+class TestFPQuantization:
+    def test_values_land_on_representable_grid(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-200, 200, size=256).astype(np.float32)
+        quantized = quantize_fp(values, E4M3)
+        grid = E4M3.representable_values()
+        full_grid = np.concatenate([-grid[::-1], grid])
+        distances = np.min(np.abs(quantized[:, None] - full_grid[None, :]), axis=1)
+        assert np.max(distances) < 1e-5
+
+    def test_exactly_representable_values_unchanged(self):
+        grid = E4M3.representable_values()
+        sample = grid[[0, 3, 10, 50, len(grid) - 1]].astype(np.float32)
+        np.testing.assert_allclose(quantize_fp(sample, E4M3), sample, rtol=1e-6)
+
+    def test_clipping_to_max_value(self):
+        values = np.array([1e6, -1e6], dtype=np.float32)
+        quantized = quantize_fp(values, E4M3)
+        np.testing.assert_allclose(np.abs(quantized), E4M3.max_value)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_fp(np.zeros(4, dtype=np.float32), E2M1).sum() == 0.0
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 10, size=64).astype(np.float32)
+        np.testing.assert_allclose(quantize_fp(-values, E4M3),
+                                   -quantize_fp(values, E4M3))
+
+    def test_fp4_is_coarser_than_fp8(self):
+        rng = np.random.default_rng(2)
+        values = rng.standard_normal(512).astype(np.float32)
+        fp8_fmt = FPFormat(4, 3, FPFormat.bias_for_max_value(4, 3, 3.0))
+        fp4_fmt = FPFormat(2, 1, FPFormat.bias_for_max_value(2, 1, 3.0))
+        assert quantization_mse(values, fp4_fmt) > quantization_mse(values, fp8_fmt)
+
+    def test_scales_are_powers_of_two_times_mantissa_step(self):
+        values = np.array([0.3, 1.7, 100.0, 0.001], dtype=np.float64)
+        scales = fp_scales(values, E4M3)
+        exponents = np.log2(scales) + E4M3.bias + E4M3.mantissa_bits
+        np.testing.assert_allclose(exponents, np.round(exponents), atol=1e-9)
+
+    def test_rounding_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(-E4M3.max_value, E4M3.max_value, size=1024)
+        quantized = quantize_fp(values, E4M3)
+        scales = fp_scales(values, E4M3)
+        assert np.all(np.abs(values - quantized) <= scales * 0.5 + 1e-9)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence_property(self, values):
+        once = quantize_fp(values, E4M3)
+        twice = quantize_fp(once, E4M3)
+        np.testing.assert_allclose(once, twice, rtol=1e-6, atol=1e-7)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_output_bounded_by_max_value(self, values):
+        quantized = quantize_fp(values, E2M1)
+        assert np.all(np.abs(quantized) <= E2M1.max_value * (1 + 1e-6))
+
+    @given(values=finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity_property(self, values):
+        flat = np.sort(values.reshape(-1))
+        quantized = quantize_fp(flat, E4M3)
+        assert np.all(np.diff(quantized) >= -1e-7)
+
+
+class TestRoundingDirection:
+    def test_round_up_and_down_bracket_the_value(self):
+        values = np.array([0.3, 1.26, 5.1, -2.7], dtype=np.float32)
+        down = quantize_fp_with_rounding(values, E4M3,
+                                         np.zeros(values.shape, dtype=bool))
+        up = quantize_fp_with_rounding(values, E4M3,
+                                       np.ones(values.shape, dtype=bool))
+        assert np.all(down <= values + 1e-6)
+        assert np.all(up >= values - 1e-6)
+        assert np.all(up >= down)
+
+    def test_nearest_rounding_is_one_of_the_two_choices(self):
+        rng = np.random.default_rng(4)
+        values = rng.uniform(-5, 5, size=128).astype(np.float32)
+        nearest = quantize_fp(values, E4M3)
+        down = quantize_fp_with_rounding(values, E4M3,
+                                         np.zeros(values.shape, dtype=bool))
+        up = quantize_fp_with_rounding(values, E4M3, np.ones(values.shape, dtype=bool))
+        matches = np.isclose(nearest, down, rtol=1e-6) | np.isclose(nearest, up, rtol=1e-6)
+        assert np.all(matches)
+
+
+class TestIntQuantization:
+    def test_calibration_covers_range(self):
+        values = np.linspace(-3.0, 5.0, 100).astype(np.float32)
+        fmt = calibrate_int_format(values, 8)
+        assert fmt.bitwidth == 8
+        assert fmt.scale == pytest.approx(8.0 / 255.0, rel=1e-5)
+
+    def test_quantized_values_at_most_one_step_off(self):
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-4, 4, size=2048).astype(np.float32)
+        fmt = calibrate_int_format(values, 8)
+        quantized = quantize_int(values, fmt)
+        assert np.max(np.abs(values - quantized)) <= fmt.scale * 0.5 + 1e-6
+
+    def test_int4_much_coarser_than_int8(self):
+        rng = np.random.default_rng(6)
+        values = rng.standard_normal(2048).astype(np.float32)
+        assert int_quantization_mse(values, 4) > 10 * int_quantization_mse(values, 8)
+
+    def test_degenerate_constant_tensor(self):
+        values = np.full(16, 3.0, dtype=np.float32)
+        fmt = calibrate_int_format(values, 8)
+        quantized = quantize_int(values, fmt)
+        assert np.all(np.isfinite(quantized))
+        np.testing.assert_allclose(quantized, values, atol=1e-3)
+
+    def test_output_within_calibrated_range(self):
+        values = np.linspace(-1.0, 1.0, 64).astype(np.float32)
+        fmt = calibrate_int_format(values, 8)
+        out_of_range = np.array([10.0, -10.0], dtype=np.float32)
+        quantized = quantize_int(out_of_range, fmt)
+        assert quantized.max() <= 1.0 + fmt.scale
+        assert quantized.min() >= -1.0 - fmt.scale
+
+    @given(values=finite_arrays, bitwidth=st.sampled_from([4, 8]))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotence_property(self, values, bitwidth):
+        fmt = calibrate_int_format(values, bitwidth)
+        once = quantize_int(values, fmt)
+        twice = quantize_int(once, fmt)
+        np.testing.assert_allclose(once, twice, atol=1e-5)
+
+    @given(values=finite_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_error_bounded_by_scale(self, values):
+        fmt = calibrate_int_format(values, 8)
+        quantized = quantize_int(values, fmt)
+        assert np.max(np.abs(values - quantized)) <= fmt.scale + 1e-5
+
+
+class TestPrecisionRangeTradeoff:
+    """The paper's motivating observation: INT has finer steps near the range
+    edge, FP has a wider dynamic range / finer steps near zero."""
+
+    def test_fp_better_on_heavy_tailed_data(self):
+        rng = np.random.default_rng(7)
+        # Mostly small values with rare large outliers (long-tailed), like
+        # diffusion-model activations.
+        values = rng.standard_normal(4096)
+        values[:4] = rng.uniform(50, 100, size=4)
+        values = values.astype(np.float32)
+        fp_fmt = FPFormat(4, 3, FPFormat.bias_for_max_value(4, 3, float(np.max(np.abs(values)))))
+        fp_mse = quantization_mse(values, fp_fmt)
+        int_mse = int_quantization_mse(values, 8)
+        assert fp_mse < int_mse
+
+    def test_int_better_on_uniform_data(self):
+        rng = np.random.default_rng(8)
+        values = rng.uniform(-1, 1, size=4096).astype(np.float32)
+        fp_fmt = FPFormat(4, 3, FPFormat.bias_for_max_value(4, 3, 1.0))
+        assert int_quantization_mse(values, 8) < quantization_mse(values, fp_fmt)

@@ -1,0 +1,174 @@
+"""Tests for Algorithm 1 (format/bias search) and rounding learning (Sec. V-B)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    FPFormat,
+    RoundingLearningConfig,
+    bias_candidates,
+    learn_rounding,
+    quantization_mse,
+    quantize_fp,
+    quantize_fp_with_rounding,
+    regularizer_value,
+    search_tensor_format,
+)
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+class TestBiasCandidates:
+    def test_number_of_candidates(self):
+        values = np.random.default_rng(0).standard_normal(128).astype(np.float32)
+        fmt = FPFormat.from_name("E4M3")
+        candidates = bias_candidates(values, fmt, num_candidates=111)
+        assert len(candidates) == 111
+
+    def test_candidates_cover_data_maximum(self):
+        values = np.array([0.1, -7.5, 3.0], dtype=np.float32)
+        fmt = FPFormat.from_name("E4M3")
+        candidates = bias_candidates(values, fmt, num_candidates=11)
+        maxima = [fmt.with_bias(b).max_value for b in candidates]
+        assert min(maxima) == pytest.approx(7.5 / 11, rel=1e-5)
+        assert max(maxima) == pytest.approx(7.5, rel=1e-5)
+
+    def test_all_zero_tensor_falls_back_to_default_bias(self):
+        fmt = FPFormat.from_name("E2M1")
+        candidates = bias_candidates(np.zeros(10, dtype=np.float32), fmt)
+        assert candidates == [FPFormat.default_bias(2)]
+
+
+class TestFormatSearch:
+    def test_search_beats_or_matches_default_bias(self):
+        rng = np.random.default_rng(1)
+        values = (rng.standard_normal(512) * 0.2).astype(np.float32)
+        result = search_tensor_format(values, 8, num_bias_candidates=31)
+        default_best = min(quantization_mse(values, FPFormat.from_name(name))
+                           for name in ("E2M5", "E3M4", "E4M3", "E5M2"))
+        assert result.mse <= default_best + 1e-12
+
+    def test_search_counts_all_combinations(self):
+        values = np.random.default_rng(2).standard_normal(64).astype(np.float32)
+        result = search_tensor_format(values, 8, num_bias_candidates=11)
+        assert result.candidates_evaluated == 4 * 11
+        result4 = search_tensor_format(values, 4, num_bias_candidates=11)
+        assert result4.candidates_evaluated == 2 * 11
+
+    def test_search_adapts_to_data_scale(self):
+        rng = np.random.default_rng(3)
+        small = (rng.standard_normal(256) * 0.01).astype(np.float32)
+        result = search_tensor_format(small, 8, num_bias_candidates=31)
+        # The chosen clipping range should be near the data maximum, far from
+        # the default E4M3 range of 240.
+        assert result.fmt.max_value < 1.0
+
+    def test_search_result_mse_is_achievable(self):
+        values = np.random.default_rng(4).standard_normal(256).astype(np.float32)
+        result = search_tensor_format(values, 4, num_bias_candidates=21)
+        assert quantization_mse(values, result.fmt) == pytest.approx(result.mse)
+
+    def test_fp8_search_much_better_than_fp4(self):
+        values = np.random.default_rng(5).standard_normal(1024).astype(np.float32)
+        mse8 = search_tensor_format(values, 8, num_bias_candidates=21).mse
+        mse4 = search_tensor_format(values, 4, num_bias_candidates=21).mse
+        assert mse8 < mse4 / 10
+
+
+class TestRegularizer:
+    def test_zero_at_hard_decisions(self):
+        values = regularizer_value(np.array([0.0, 1.0]), exponent=20.0)
+        np.testing.assert_allclose(values, [0.0, 0.0], atol=1e-12)
+
+    def test_maximal_at_half(self):
+        assert regularizer_value(np.array([0.5]))[0] == pytest.approx(1.0)
+
+    def test_symmetric_around_half(self):
+        left = regularizer_value(np.array([0.3]))
+        right = regularizer_value(np.array([0.7]))
+        np.testing.assert_allclose(left, right)
+
+    def test_higher_exponent_flattens_center(self):
+        soft = regularizer_value(np.array([0.4]), exponent=2.0)[0]
+        sharp = regularizer_value(np.array([0.4]), exponent=20.0)[0]
+        assert sharp > soft
+
+
+class TestRoundingLearning:
+    @pytest.fixture(scope="class")
+    def fp4_format(self):
+        return FPFormat(2, 1, FPFormat.bias_for_max_value(2, 1, 1.0))
+
+    def test_learns_rounding_for_linear_layer(self, fp4_format):
+        rng = np.random.default_rng(0)
+        layer = nn.Linear(16, 8, rng=rng)
+        layer.weight.data = (rng.standard_normal((8, 16)) * 0.3).astype(np.float32)
+        calibration = [rng.standard_normal((4, 16)).astype(np.float32)
+                       for _ in range(6)]
+        config = RoundingLearningConfig(iterations=60, learning_rate=5e-2,
+                                        samples_per_iteration=4, seed=0)
+        result = learn_rounding(layer, fp4_format, calibration, config)
+        assert result.round_up.shape == layer.weight.shape
+        assert result.round_up.dtype == bool
+        assert len(result.losses) == 60
+        # Learned rounding should not be worse than round-to-nearest on the
+        # layer-output MSE it optimizes (allow small tolerance for noise).
+        assert result.final_output_mse <= result.initial_output_mse * 1.05
+
+    def test_learns_rounding_for_conv_layer(self, fp4_format):
+        rng = np.random.default_rng(1)
+        layer = nn.Conv2d(3, 4, kernel_size=3, padding=1, rng=rng)
+        layer.weight.data = (rng.standard_normal((4, 3, 3, 3)) * 0.3).astype(np.float32)
+        calibration = [rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+                       for _ in range(4)]
+        config = RoundingLearningConfig(iterations=40, learning_rate=5e-2,
+                                        samples_per_iteration=2, seed=1)
+        result = learn_rounding(layer, fp4_format, calibration, config)
+        assert result.round_up.shape == layer.weight.shape
+        assert result.final_output_mse <= result.initial_output_mse * 1.05
+
+    def test_learned_rounding_improves_over_worst_case(self, fp4_format):
+        """Learned rounding should clearly beat an adversarial rounding choice."""
+        rng = np.random.default_rng(2)
+        layer = nn.Linear(8, 4, rng=rng)
+        layer.weight.data = (rng.standard_normal((4, 8)) * 0.4).astype(np.float32)
+        calibration = [rng.standard_normal((4, 8)).astype(np.float32) for _ in range(4)]
+        result = learn_rounding(layer, fp4_format, calibration,
+                                RoundingLearningConfig(iterations=50, seed=2,
+                                                       learning_rate=5e-2))
+        inputs = Tensor(calibration[0])
+        reference = F.linear(inputs, layer.weight, layer.bias).data
+
+        def output_mse(weights):
+            produced = F.linear(inputs, Tensor(weights), layer.bias).data
+            return float(np.mean((produced - reference) ** 2))
+
+        learned = output_mse(quantize_fp_with_rounding(
+            layer.weight.data, fp4_format, result.round_up))
+        adversarial = output_mse(quantize_fp_with_rounding(
+            layer.weight.data, fp4_format, ~result.round_up))
+        assert learned < adversarial
+
+    def test_requires_calibration_inputs(self, fp4_format):
+        layer = nn.Linear(4, 4)
+        with pytest.raises(ValueError):
+            learn_rounding(layer, fp4_format, [])
+
+    def test_rejects_unsupported_layer(self, fp4_format):
+        with pytest.raises(TypeError):
+            learn_rounding(nn.GroupNorm(2, 4), fp4_format,
+                           [np.zeros((1, 4, 2, 2), dtype=np.float32)])
+
+    def test_round_to_nearest_is_recovered_without_training(self, fp4_format):
+        """With zero iterations the hardened alpha equals round-to-nearest."""
+        rng = np.random.default_rng(3)
+        layer = nn.Linear(6, 3, rng=rng)
+        layer.weight.data = (rng.standard_normal((3, 6)) * 0.5).astype(np.float32)
+        calibration = [rng.standard_normal((2, 6)).astype(np.float32)]
+        result = learn_rounding(layer, fp4_format, calibration,
+                                RoundingLearningConfig(iterations=0))
+        hardened = quantize_fp_with_rounding(layer.weight.data, fp4_format,
+                                             result.round_up)
+        nearest = quantize_fp(layer.weight.data, fp4_format)
+        np.testing.assert_allclose(hardened, nearest, rtol=1e-5, atol=1e-7)

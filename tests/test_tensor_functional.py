@@ -1,0 +1,155 @@
+"""Tests for convolution, pooling, resampling and attention primitives."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+
+def naive_conv2d(x, weight, bias, stride, padding):
+    """Reference convolution implemented with explicit loops."""
+    n, c_in, h, w = x.shape
+    c_out, _, kh, kw = weight.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, out_h, out_w), dtype=np.float64)
+    for b in range(n):
+        for oc in range(c_out):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[b, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    out[b, oc, i, j] = np.sum(patch * weight[oc])
+            if bias is not None:
+                out[b, oc] += bias[oc]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_forward_matches_naive(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=stride, padding=padding)
+        expected = naive_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-4)
+
+    def test_backward_shapes_and_bias_grad(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 6, 6)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((5, 3, 3, 3)).astype(np.float32), requires_grad=True)
+        b = Tensor(np.zeros(5, dtype=np.float32), requires_grad=True)
+        out = F.conv2d(x, w, b, padding=1)
+        out.sum().backward()
+        assert x.grad.shape == x.shape
+        assert w.grad.shape == w.shape
+        # The bias gradient for a sum loss is the number of output positions.
+        np.testing.assert_allclose(b.grad, np.full(5, 2 * 6 * 6), atol=1e-3)
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+
+        weight = Tensor(w, requires_grad=True)
+        out = F.conv2d(Tensor(x), weight, None, padding=1)
+        out.sum().backward()
+
+        eps = 1e-3
+        index = (1, 0, 2, 1)
+        w_plus, w_minus = w.copy(), w.copy()
+        w_plus[index] += eps
+        w_minus[index] -= eps
+        f_plus = F.conv2d(Tensor(x), Tensor(w_plus), None, padding=1).data.sum()
+        f_minus = F.conv2d(Tensor(x), Tensor(w_minus), None, padding=1).data.sum()
+        numeric = (f_plus - f_minus) / (2 * eps)
+        assert abs(weight.grad[index] - numeric) < 5e-2
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+
+        inputs = Tensor(x, requires_grad=True)
+        F.conv2d(inputs, Tensor(w), None, stride=2, padding=1).sum().backward()
+
+        eps = 1e-3
+        index = (0, 1, 3, 2)
+        x_plus, x_minus = x.copy(), x.copy()
+        x_plus[index] += eps
+        x_minus[index] -= eps
+        f_plus = F.conv2d(Tensor(x_plus), Tensor(w), None, stride=2, padding=1).data.sum()
+        f_minus = F.conv2d(Tensor(x_minus), Tensor(w), None, stride=2, padding=1).data.sum()
+        numeric = (f_plus - f_minus) / (2 * eps)
+        assert abs(inputs.grad[index] - numeric) < 5e-2
+
+
+class TestLinear:
+    def test_forward_and_bias(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((3, 7)).astype(np.float32)
+        w = rng.standard_normal((5, 7)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, atol=1e-5)
+
+    def test_works_on_3d_token_inputs(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((2, 6, 7)).astype(np.float32)
+        w = rng.standard_normal((5, 7)).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), None)
+        assert out.shape == (2, 6, 5)
+
+
+class TestPoolingAndResampling:
+    def test_avg_pool_matches_numpy(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), kernel=2)
+        expected = x.reshape(1, 1, 2, 2, 2, 2).mean(axis=(3, 5))
+        np.testing.assert_allclose(out.data, expected.reshape(1, 1, 2, 2))
+
+    def test_avg_pool_backward_distributes(self):
+        x = Tensor(np.ones((1, 1, 4, 4), dtype=np.float32), requires_grad=True)
+        F.avg_pool2d(x, kernel=2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 4, 4), 0.25))
+
+    def test_upsample_nearest_repeats(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        out = F.upsample_nearest(Tensor(x), scale=2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], np.ones((2, 2)))
+
+    def test_upsample_backward_sums(self):
+        x = Tensor(np.ones((1, 1, 2, 2), dtype=np.float32), requires_grad=True)
+        F.upsample_nearest(x, scale=2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((1, 1, 2, 2), 4.0))
+
+
+class TestAttentionAndLoss:
+    def test_attention_output_shape(self):
+        rng = np.random.default_rng(6)
+        q = Tensor(rng.standard_normal((4, 10, 8)).astype(np.float32))
+        k = Tensor(rng.standard_normal((4, 12, 8)).astype(np.float32))
+        v = Tensor(rng.standard_normal((4, 12, 8)).astype(np.float32))
+        out = F.scaled_dot_product_attention(q, k, v)
+        assert out.shape == (4, 10, 8)
+
+    def test_attention_uniform_when_scores_equal(self):
+        q = Tensor(np.zeros((1, 2, 4), dtype=np.float32))
+        k = Tensor(np.zeros((1, 3, 4), dtype=np.float32))
+        v = Tensor(np.arange(12, dtype=np.float32).reshape(1, 3, 4))
+        out = F.scaled_dot_product_attention(q, k, v)
+        expected = v.data.mean(axis=1, keepdims=True).repeat(2, axis=1)
+        np.testing.assert_allclose(out.data, expected, atol=1e-5)
+
+    def test_mse_loss_value_and_gradient(self):
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32), requires_grad=True)
+        target = Tensor(np.array([0.0, 0.0], dtype=np.float32))
+        loss = F.mse_loss(pred, target)
+        np.testing.assert_allclose(loss.item(), 2.5, atol=1e-6)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, [1.0, 2.0], atol=1e-6)

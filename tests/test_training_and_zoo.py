@@ -1,0 +1,73 @@
+"""Tests for the training loops and the pre-trained model zoo."""
+
+import numpy as np
+
+from repro.data import rooms, shapes10
+from repro.diffusion import train_autoencoder, train_denoiser
+from repro.models import DiffusionModel
+from repro.zoo import PretrainConfig, load_pretrained, zoo_cache_path
+
+from conftest import make_tiny_spec
+
+
+class TestTraining:
+    def test_denoiser_training_reduces_loss(self):
+        model = DiffusionModel(make_tiny_spec(), rng=np.random.default_rng(0))
+        images, _ = shapes10(32, size=16, seed=0)
+        result = train_denoiser(model, images, num_steps=40, batch_size=8, seed=0)
+        assert len(result.losses) == 40
+        early = float(np.mean(result.losses[:5]))
+        late = float(np.mean(result.losses[-5:]))
+        assert late < early
+
+    def test_autoencoder_training_reduces_loss(self):
+        spec = make_tiny_spec(name="tiny-latent", latent=True)
+        model = DiffusionModel(spec, rng=np.random.default_rng(1))
+        images = rooms(32, size=16, seed=1)
+        result = train_autoencoder(model, images, num_steps=30, batch_size=8, seed=1)
+        assert result.final_loss < result.initial_loss
+
+    def test_autoencoder_training_noop_for_pixel_models(self):
+        model = DiffusionModel(make_tiny_spec(), rng=np.random.default_rng(2))
+        result = train_autoencoder(model, np.zeros((4, 3, 16, 16), dtype=np.float32))
+        assert result.losses == []
+
+    def test_progress_callback_invoked(self):
+        model = DiffusionModel(make_tiny_spec(), rng=np.random.default_rng(3))
+        images, _ = shapes10(16, size=16, seed=2)
+        steps = []
+        train_denoiser(model, images, num_steps=5, batch_size=4,
+                       progress=lambda step, loss: steps.append(step))
+        assert steps == list(range(5))
+
+
+class TestZoo:
+    def test_cache_path_encodes_config(self, tmp_path):
+        config = PretrainConfig(dataset_size=10, denoiser_steps=5)
+        path = zoo_cache_path("ddim-cifar10", config, cache_dir=tmp_path)
+        assert "ddim-cifar10" in path.name and "dn5" in path.name
+
+    def test_load_pretrained_caches_and_reloads_identically(self, tmp_path):
+        config = PretrainConfig(dataset_size=16, autoencoder_steps=4,
+                                denoiser_steps=6, batch_size=4)
+        first = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        assert zoo_cache_path("ddim-cifar10", config, cache_dir=tmp_path).exists()
+        second = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        for (name_a, param_a), (name_b, param_b) in zip(first.named_parameters(),
+                                                        second.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)
+
+    def test_pretrained_model_is_in_eval_mode(self, pretrained_cifar):
+        assert not pretrained_cifar.training
+
+    def test_pretrained_weights_moved_from_initialization(self, pretrained_cifar,
+                                                          fast_pretrain_config):
+        from repro.models import build_model, get_model_spec
+        fresh = build_model("ddim-cifar10",
+                            rng=np.random.default_rng(get_model_spec("ddim-cifar10").seed))
+        trained_state = pretrained_cifar.state_dict()
+        fresh_state = fresh.state_dict()
+        deltas = [np.mean(np.abs(trained_state[k] - fresh_state[k]))
+                  for k in trained_state if k in fresh_state]
+        assert max(deltas) > 1e-4
