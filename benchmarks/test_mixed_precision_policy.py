@@ -1,0 +1,43 @@
+"""Mixed-precision policy benchmark: FP8 boundary layers, FP4 interior.
+
+Not a paper table — this exercises the extensible scheme/policy API at
+benchmark scale: the first and last U-Net layers stay on FP8 while the
+interior runs FP4, the classic mixed-precision recipe.  The quality of the
+mix should land between uniform FP8 (upper bound) and uniform FP4 with
+round-to-nearest (lower bound), and the report must round-trip through JSON
+with the per-layer scheme assignments intact.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SETTINGS, write_result
+
+from repro.core import QuantizationReport, mixed_precision_config
+from repro.experiments import run_config_experiment
+from repro.experiments.harness import load_benchmark_pipeline
+
+MODEL = "ddim-cifar10"
+
+
+def test_mixed_precision_boundary_policy():
+    pipeline = load_benchmark_pipeline(MODEL, BENCH_SETTINGS)
+    config = mixed_precision_config(pipeline.model, boundary="fp8",
+                                    interior="fp4")
+    row = run_config_experiment(MODEL, config, settings=BENCH_SETTINGS)
+
+    report = row.report
+    histogram = report.scheme_histogram()
+    assert histogram.get("fp8") == 2, "first and last layer must stay FP8"
+    assert histogram.get("fp4", 0) == report.num_quantized_layers - 2
+    assert row.label.endswith("[mixed]")
+
+    # The experiment is fully serializable (config, policy, per-layer schemes).
+    restored = QuantizationReport.from_json(report.to_json())
+    assert restored.to_dict() == report.to_dict()
+
+    metrics = row.metrics["full-precision generated"]
+    lines = [f"mixed precision on {MODEL}: FP8 boundary / FP4 interior",
+             f"weight scheme mix: {histogram}",
+             f"FID vs full-precision generations: {metrics.fid:.4f}",
+             report.summary()]
+    write_result("mixed_precision_policy", "\n".join(lines))

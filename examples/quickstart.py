@@ -55,10 +55,16 @@ def main() -> None:
     print(f"precision / recall       : {metrics.precision:.3f} / {metrics.recall:.3f}")
     print(f"weight sparsity          : {sparsity_before.percent:.3f}% -> "
           f"{sparsity_after.percent:.3f}%")
-    print("\nPer-layer formats chosen by the search (first 5 layers):")
+    print("\nPer-layer schemes and formats chosen by the search (first 5 layers):")
     for record in report.layers[:5]:
-        print(f"  {record.path:<40} W={record.weight_format:<24} "
-              f"A={record.activation_format}")
+        print(f"  {record.path:<40} [{record.weight_scheme}] "
+              f"W={record.weight_format:<24} A={record.activation_format}")
+
+    # Reports are serializable: save the experiment for diffing/replaying.
+    # (See examples/mixed_precision_policy.py for per-layer scheme policies.)
+    with open("quickstart_report.json", "w") as handle:
+        handle.write(report.to_json(indent=2))
+    print("\nfull report saved to quickstart_report.json")
 
 
 if __name__ == "__main__":

@@ -3,19 +3,44 @@
 Public API overview
 -------------------
 
-* :class:`FPFormat`, :func:`quantize_fp` — low-bitwidth floating-point formats
-  and round-to-nearest quantization (Eq. 5-9).
-* :func:`calibrate_int_format`, :func:`quantize_int` — the uniform integer
-  (Q-diffusion style) baseline (Eq. 4).
-* :func:`search_tensor_format` — Algorithm 1's per-tensor encoding/bias search.
-* :func:`learn_rounding` — gradient-based rounding learning for FP4 weights
-  (Eq. 12-14).
-* :func:`collect_calibration_data` — initialization / calibration dataset
-  collection from the full-precision model.
-* :func:`quantize_pipeline` / :func:`quantize_model` — end-to-end PTQ of a
-  diffusion pipeline, with :data:`PAPER_CONFIGS` providing the exact
-  weight/activation settings evaluated in the paper's tables.
-* :func:`measure_weight_sparsity` — the sparsity analysis of Figure 11.
+Primitives
+    * :class:`FPFormat`, :func:`quantize_fp`, :func:`quantize_fp_blockwise` —
+      low-bitwidth floating-point formats, round-to-nearest quantization
+      (Eq. 5-9) and the block-wise variant (per-block exponent bias).
+    * :class:`IntFormat` / :class:`PerChannelIntFormat`,
+      :func:`calibrate_int_format`, :func:`quantize_int` and their
+      per-channel counterparts — the uniform integer (Q-diffusion style)
+      baseline (Eq. 4).
+    * :func:`search_tensor_format` — Algorithm 1's per-tensor encoding/bias
+      search.
+    * :func:`learn_rounding` — gradient-based rounding learning for FP4
+      weights (Eq. 12-14).
+    * :func:`collect_calibration_data` — initialization / calibration dataset
+      collection from the full-precision model.
+
+Schemes and policies (the extensible quantization API)
+    * :class:`QuantScheme` — one registrable calibrate/quantize strategy;
+      built-ins cover ``fp32``, ``fp8``/``fp4`` (format search + rounding
+      learning), ``int8``/``int4``, per-channel integer (``int8_pc``/
+      ``int4_pc``) and block-wise FP (``fp8_block``/``fp4_block``).
+    * :func:`register_scheme` / :func:`get_scheme` /
+      :func:`available_schemes` — the scheme registry; any registered name
+      is accepted wherever a dtype string is expected.
+    * :class:`QuantizationPolicy` / :class:`PolicyRule` — ordered per-layer
+      overrides (glob patterns, layer types, predicates) enabling true
+      mixed precision; :func:`boundary_interior_policy` builds the classic
+      "keep first/last layer high precision" recipe.
+
+Orchestration
+    * :func:`quantize_pipeline` / :func:`quantize_model` — end-to-end PTQ of
+      a diffusion pipeline, dispatching through the scheme registry, with
+      :data:`PAPER_CONFIGS` providing the exact weight/activation settings
+      evaluated in the paper's tables and :func:`mixed_precision_config`
+      building a policy-driven mixed-precision experiment.
+    * :class:`QuantizationConfig` / :class:`QuantizationReport` /
+      :class:`LayerQuantizationRecord` — serializable experiment descriptions
+      and results (``to_dict`` / ``from_dict`` / ``to_json`` / ``from_json``).
+    * :func:`measure_weight_sparsity` — the sparsity analysis of Figure 11.
 """
 
 from .formats import (
@@ -25,12 +50,22 @@ from .formats import (
     FPFormat,
     encoding_candidates,
 )
-from .fp import fp_scales, quantization_mse, quantize_fp, quantize_fp_with_rounding
+from .fp import (
+    calibrate_block_biases,
+    fp_scales,
+    quantization_mse,
+    quantize_fp,
+    quantize_fp_blockwise,
+    quantize_fp_with_rounding,
+)
 from .integer import (
     IntFormat,
+    PerChannelIntFormat,
     calibrate_int_format,
+    calibrate_int_format_per_channel,
     int_quantization_mse,
     quantize_int,
+    quantize_int_per_channel,
 )
 from .search import (
     DEFAULT_NUM_BIAS_CANDIDATES,
@@ -52,16 +87,39 @@ from .calibration import (
     skip_concat_paths,
 )
 from .qmodules import (
+    BlockFPTensorQuantizer,
     FPTensorQuantizer,
     IdentityQuantizer,
     IntTensorQuantizer,
+    PerChannelIntTensorQuantizer,
     QuantizedConv2d,
     QuantizedLinear,
     QuantizedSkipConcat,
     TensorQuantizer,
 )
+from .schemes import (
+    BlockFPScheme,
+    FPSearchScheme,
+    IdentityScheme,
+    IntScheme,
+    PerChannelIntScheme,
+    QuantScheme,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+    scheme_name,
+    unregister_scheme,
+)
+from .policy import (
+    PolicyDecision,
+    PolicyRule,
+    QuantizationPolicy,
+    boundary_interior_policy,
+    layer_paths_matching,
+)
 from .quantizer import (
     PAPER_CONFIGS,
+    VALID_DTYPES,
     LayerQuantizationRecord,
     QuantizationConfig,
     QuantizationReport,
@@ -71,6 +129,7 @@ from .quantizer import (
     full_precision_config,
     int4_int8_config,
     int8_int8_config,
+    mixed_precision_config,
     quantize_model,
     quantize_pipeline,
 )
@@ -85,8 +144,10 @@ __all__ = [
     # formats / fp / int
     "FPFormat", "FP8_ENCODINGS", "FP4_ENCODINGS", "ENCODING_CANDIDATES",
     "encoding_candidates", "fp_scales", "quantize_fp", "quantize_fp_with_rounding",
-    "quantization_mse", "IntFormat", "calibrate_int_format", "quantize_int",
-    "int_quantization_mse",
+    "quantize_fp_blockwise", "calibrate_block_biases",
+    "quantization_mse", "IntFormat", "PerChannelIntFormat",
+    "calibrate_int_format", "calibrate_int_format_per_channel",
+    "quantize_int", "quantize_int_per_channel", "int_quantization_mse",
     # search / rounding / calibration
     "search_tensor_format", "bias_candidates", "SearchResult",
     "DEFAULT_NUM_BIAS_CANDIDATES",
@@ -94,14 +155,24 @@ __all__ = [
     "RoundingLearningResult",
     "CalibrationConfig", "CalibrationData", "collect_calibration_data",
     "quantizable_layer_paths", "skip_concat_paths",
-    # modules / orchestration
+    # quantizer modules
     "TensorQuantizer", "IdentityQuantizer", "FPTensorQuantizer",
-    "IntTensorQuantizer", "QuantizedConv2d", "QuantizedLinear",
+    "IntTensorQuantizer", "PerChannelIntTensorQuantizer",
+    "BlockFPTensorQuantizer", "QuantizedConv2d", "QuantizedLinear",
     "QuantizedSkipConcat",
+    # schemes and registry
+    "QuantScheme", "IdentityScheme", "FPSearchScheme", "IntScheme",
+    "PerChannelIntScheme", "BlockFPScheme",
+    "register_scheme", "unregister_scheme", "get_scheme",
+    "available_schemes", "scheme_name",
+    # policies
+    "QuantizationPolicy", "PolicyRule", "PolicyDecision",
+    "boundary_interior_policy", "layer_paths_matching",
+    # orchestration
     "QuantizationConfig", "QuantizationReport", "LayerQuantizationRecord",
-    "PAPER_CONFIGS", "quantize_pipeline", "quantize_model", "clone_model",
-    "full_precision_config", "fp8_fp8_config", "fp4_fp8_config",
-    "int8_int8_config", "int4_int8_config",
+    "PAPER_CONFIGS", "VALID_DTYPES", "quantize_pipeline", "quantize_model",
+    "clone_model", "full_precision_config", "fp8_fp8_config", "fp4_fp8_config",
+    "int8_int8_config", "int4_int8_config", "mixed_precision_config",
     # sparsity
     "SparsityReport", "measure_weight_sparsity", "sparsity_increase",
     "tensor_sparsity",

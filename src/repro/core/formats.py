@@ -75,6 +75,17 @@ class FPFormat:
             bias = cls.default_bias(exponent_bits)
         return cls(exponent_bits, mantissa_bits, float(bias))
 
+    def to_dict(self) -> Dict:
+        """Plain-dict form for JSON round-tripping of reports/configs."""
+        return {"exponent_bits": self.exponent_bits,
+                "mantissa_bits": self.mantissa_bits, "bias": self.bias}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FPFormat":
+        return cls(exponent_bits=int(data["exponent_bits"]),
+                   mantissa_bits=int(data["mantissa_bits"]),
+                   bias=float(data["bias"]))
+
     @staticmethod
     def bias_for_max_value(exponent_bits: int, mantissa_bits: int,
                            max_value: float) -> float:

@@ -61,6 +61,64 @@ def quantize_fp_with_rounding(values: np.ndarray, fmt: FPFormat,
     return quantized.astype(np.float32)
 
 
+def calibrate_block_biases(values: np.ndarray, fmt: FPFormat,
+                           block_size: int) -> np.ndarray:
+    """Per-block exponent biases for block-wise FP quantization.
+
+    The tensor is flattened and split into contiguous blocks of
+    ``block_size`` elements; each block gets the bias that makes its own
+    maximum magnitude the largest representable value (Eq. 7 inverted),
+    mirroring how block floating-point hardware shares one exponent offset
+    per block.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    flat = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+    num_blocks = int(np.ceil(flat.size / block_size)) or 1
+    padded = np.zeros(num_blocks * block_size, dtype=np.float64)
+    padded[: flat.size] = flat
+    maxima = padded.reshape(num_blocks, block_size).max(axis=1)
+    default = FPFormat.default_bias(fmt.exponent_bits)
+    biases = np.full(num_blocks, default, dtype=np.float64)
+    positive = maxima > 0
+    if np.any(positive):
+        biases[positive] = [
+            FPFormat.bias_for_max_value(fmt.exponent_bits, fmt.mantissa_bits, m)
+            for m in maxima[positive]
+        ]
+    return biases
+
+
+def quantize_fp_blockwise(values: np.ndarray, fmt: FPFormat,
+                          biases: np.ndarray, block_size: int) -> np.ndarray:
+    """Block-wise FP quantization with one exponent bias per block.
+
+    ``biases`` must come from :func:`calibrate_block_biases` on a tensor of
+    the same size (the block partition has to line up).  This is
+    :func:`quantize_fp` with the scalar bias generalized to a per-element
+    array, vectorized over the whole tensor: all of Eq. 6-9 is elementwise
+    in the bias, so broadcasting a per-block bias costs one pass.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    biases = np.asarray(biases, dtype=np.float64)
+    if biases.size * block_size < flat.size:
+        raise ValueError(
+            f"{biases.size} blocks of {block_size} cannot cover a tensor of "
+            f"{flat.size} elements")
+    bias = np.repeat(biases, block_size)[: flat.size]
+    c = (2.0 - 2.0 ** (-fmt.mantissa_bits)) * np.power(
+        2.0, 2 ** fmt.exponent_bits - bias - 1.0)
+    clipped = np.clip(flat, -c, c)
+    with np.errstate(divide="ignore"):
+        biased_exponent = np.floor(np.log2(np.abs(clipped)) + bias)
+    subnormal = ~np.isfinite(biased_exponent) | (biased_exponent <= 1)
+    exponent = np.where(subnormal, 1.0, biased_exponent)
+    scales = np.power(2.0, exponent - bias - fmt.mantissa_bits)
+    quantized = np.clip(scales * np.round(clipped / scales), -c, c)
+    return quantized.reshape(values.shape).astype(np.float32)
+
+
 def quantization_mse(values: np.ndarray, fmt: FPFormat) -> float:
     """Mean squared error between a tensor and its quantized version.
 

@@ -9,6 +9,7 @@ those integer methods.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -29,6 +30,51 @@ class IntFormat:
     def name(self) -> str:
         return f"INT{self.bitwidth}"
 
+    def to_dict(self) -> Dict:
+        return {"bitwidth": self.bitwidth, "scale": self.scale,
+                "zero_point": self.zero_point}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "IntFormat":
+        return cls(bitwidth=int(data["bitwidth"]), scale=float(data["scale"]),
+                   zero_point=int(data["zero_point"]))
+
+
+@dataclass(frozen=True)
+class PerChannelIntFormat:
+    """A family of integer grids, one per output channel (axis 0).
+
+    Per-channel calibration tightens each channel's grid to its own value
+    range, which matters for conv weights whose channels differ in scale by
+    orders of magnitude.
+    """
+
+    bitwidth: int
+    scales: Tuple[float, ...]
+    zero_points: Tuple[int, ...]
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.scales)
+
+    @property
+    def num_levels(self) -> int:
+        return 2 ** self.bitwidth
+
+    @property
+    def name(self) -> str:
+        return f"INT{self.bitwidth}pc[{self.num_channels}]"
+
+    def to_dict(self) -> Dict:
+        return {"bitwidth": self.bitwidth, "scales": list(self.scales),
+                "zero_points": list(self.zero_points)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PerChannelIntFormat":
+        return cls(bitwidth=int(data["bitwidth"]),
+                   scales=tuple(float(s) for s in data["scales"]),
+                   zero_points=tuple(int(z) for z in data["zero_points"]))
+
 
 def calibrate_int_format(values: np.ndarray, bitwidth: int) -> IntFormat:
     """Derive scale and zero point from the min/max of calibration data (Eq. 4)."""
@@ -48,6 +94,41 @@ def quantize_int(values: np.ndarray, fmt: IntFormat) -> np.ndarray:
     levels = np.round(values / fmt.scale) + fmt.zero_point
     levels = np.clip(levels, 0, fmt.num_levels - 1)
     return (fmt.scale * (levels - fmt.zero_point)).astype(np.float32)
+
+
+def calibrate_int_format_per_channel(values: np.ndarray,
+                                     bitwidth: int) -> PerChannelIntFormat:
+    """Per-output-channel min/max calibration (axis 0 indexes channels)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim < 2:
+        values = values.reshape(-1, 1)
+    per_channel = values.reshape(values.shape[0], -1)
+    lo = per_channel.min(axis=1)
+    hi = per_channel.max(axis=1)
+    hi = np.where(hi <= lo, lo + 1e-8, hi)
+    scales = (hi - lo) / (2 ** bitwidth - 1)
+    zero_points = np.round(-lo / scales).astype(np.int64)
+    return PerChannelIntFormat(bitwidth=bitwidth,
+                               scales=tuple(float(s) for s in scales),
+                               zero_points=tuple(int(z) for z in zero_points))
+
+
+def quantize_int_per_channel(values: np.ndarray,
+                             fmt: PerChannelIntFormat) -> np.ndarray:
+    """Simulated per-channel uniform integer quantization along axis 0."""
+    values = np.asarray(values, dtype=np.float64)
+    shape = values.shape
+    per_channel = values.reshape(-1, 1) if values.ndim < 2 else values.reshape(shape[0], -1)
+    if per_channel.shape[0] != fmt.num_channels:
+        raise ValueError(
+            f"tensor has {per_channel.shape[0]} channels but format was "
+            f"calibrated for {fmt.num_channels}")
+    scales = np.asarray(fmt.scales, dtype=np.float64)[:, None]
+    zero_points = np.asarray(fmt.zero_points, dtype=np.float64)[:, None]
+    levels = np.round(per_channel / scales) + zero_points
+    levels = np.clip(levels, 0, fmt.num_levels - 1)
+    dequantized = scales * (levels - zero_points)
+    return dequantized.reshape(shape).astype(np.float32)
 
 
 def int_quantization_mse(values: np.ndarray, bitwidth: int) -> float:

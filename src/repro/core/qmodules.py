@@ -26,8 +26,15 @@ from ..models import SkipConcat
 from ..tensor import Tensor, concatenate
 from ..tensor import functional as F
 from .formats import FPFormat
-from .fp import quantize_fp
-from .integer import IntFormat, calibrate_int_format, quantize_int
+from .fp import calibrate_block_biases, quantize_fp, quantize_fp_blockwise
+from .integer import (
+    IntFormat,
+    PerChannelIntFormat,
+    calibrate_int_format,
+    calibrate_int_format_per_channel,
+    quantize_int,
+    quantize_int_per_channel,
+)
 
 
 class TensorQuantizer:
@@ -84,6 +91,49 @@ class IntTensorQuantizer(TensorQuantizer):
 
     def describe(self) -> str:
         return f"INT{self.fmt.bitwidth}(scale={self.fmt.scale:.3g})"
+
+
+class PerChannelIntTensorQuantizer(TensorQuantizer):
+    """Per-output-channel uniform integer quantizer (weights only)."""
+
+    def __init__(self, fmt: PerChannelIntFormat):
+        self.fmt = fmt
+        self.bits = fmt.bitwidth
+
+    @classmethod
+    def calibrated(cls, values: np.ndarray,
+                   bitwidth: int) -> "PerChannelIntTensorQuantizer":
+        return cls(calibrate_int_format_per_channel(values, bitwidth))
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return quantize_int_per_channel(values, self.fmt)
+
+    def describe(self) -> str:
+        return f"INT{self.fmt.bitwidth}(per-channel x{self.fmt.num_channels})"
+
+
+class BlockFPTensorQuantizer(TensorQuantizer):
+    """Block-wise FP quantizer: one encoding, one exponent bias per block."""
+
+    def __init__(self, fmt: FPFormat, biases: np.ndarray, block_size: int):
+        self.fmt = fmt
+        self.biases = np.asarray(biases, dtype=np.float64)
+        self.block_size = block_size
+        self.bits = fmt.bitwidth
+
+    @classmethod
+    def calibrated(cls, values: np.ndarray, fmt: FPFormat,
+                   block_size: int) -> "BlockFPTensorQuantizer":
+        return cls(fmt, calibrate_block_biases(values, fmt, block_size),
+                   block_size)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return quantize_fp_blockwise(values, self.fmt, self.biases,
+                                     self.block_size)
+
+    def describe(self) -> str:
+        return (f"FP{self.fmt.bitwidth}({self.fmt.name}, "
+                f"blocks={self.biases.size}x{self.block_size})")
 
 
 class QuantizedConv2d(nn.Module):

@@ -6,21 +6,28 @@ entry point, :func:`quantize_pipeline`:
 1. collect the initialization/calibration datasets by running the
    full-precision pipeline (Section V),
 2. walk the U-Net's Conv2d and Linear layers in breadth-first order and, for
-   each, greedily fix the weight format (Algorithm 1) and the activation
-   format, optionally refining the weight rounding with gradient-based
+   each, resolve the weight/activation :class:`~repro.core.schemes.QuantScheme`
+   (config defaults, optionally overridden per layer by a
+   :class:`~repro.core.policy.QuantizationPolicy`) and let the scheme
+   calibrate and quantize the tensors — for the paper's FP schemes that is
+   the greedy format search (Algorithm 1) plus optional gradient-based
    rounding learning (Section V-B),
 3. install quantized layer wrappers, including the separate quantization of
    skip-connection concat inputs, and
 4. return a new pipeline around the quantized model plus a per-layer report.
 
-Integer (Q-diffusion style) quantization is available through the same entry
-point so that FP-vs-INT comparisons run through identical machinery.
+Schemes are looked up in the registry of :mod:`repro.core.schemes`, so
+integer (Q-diffusion style) baselines, per-channel/block-wise variants and
+user-registered schemes all run through identical machinery.  Configs and
+reports round-trip through ``to_dict``/``from_dict``/JSON so experiments can
+be saved, diffed and replayed.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -35,36 +42,31 @@ from .calibration import (
     quantizable_layer_paths,
     skip_concat_paths,
 )
-from .fp import quantize_fp, quantize_fp_with_rounding
-from .integer import calibrate_int_format, quantize_int
+from .policy import QuantizationPolicy, boundary_interior_policy
 from .qmodules import (
-    FPTensorQuantizer,
-    IdentityQuantizer,
-    IntTensorQuantizer,
     QuantizedConv2d,
     QuantizedLinear,
     QuantizedSkipConcat,
-    TensorQuantizer,
 )
-from .rounding import RoundingLearningConfig, learn_rounding
-from .search import DEFAULT_NUM_BIAS_CANDIDATES, search_tensor_format
+from .rounding import RoundingLearningConfig
+from .schemes import QuantScheme, SchemeLike, get_scheme
+from .search import DEFAULT_NUM_BIAS_CANDIDATES
 
+#: Dtype strings of the original string-based API.  Kept for backwards
+#: compatibility; the authoritative list is ``schemes.available_schemes()``.
 VALID_DTYPES = ("fp32", "fp8", "fp4", "int8", "int4")
-
-
-def _dtype_kind_and_bits(dtype: str):
-    dtype = dtype.lower()
-    if dtype not in VALID_DTYPES:
-        raise ValueError(f"unknown dtype '{dtype}'; valid: {VALID_DTYPES}")
-    if dtype == "fp32":
-        return "none", 32
-    kind = "fp" if dtype.startswith("fp") else "int"
-    return kind, int(dtype[-1])
 
 
 @dataclass
 class QuantizationConfig:
-    """Full description of one quantization experiment (a table row)."""
+    """Full description of one quantization experiment (a table row).
+
+    ``weight_dtype`` / ``activation_dtype`` accept any registered scheme
+    name (``"fp4"``, ``"int8_pc"``, ``"fp4_block"``, ...); they stay strings
+    so configs remain trivially serializable and the pre-registry API keeps
+    working.  ``policy`` optionally overrides the schemes per layer for
+    mixed-precision experiments.
+    """
 
     weight_dtype: str = "fp8"
     activation_dtype: str = "fp8"
@@ -72,18 +74,54 @@ class QuantizationConfig:
     num_bias_candidates: int = DEFAULT_NUM_BIAS_CANDIDATES
     quantize_skip_connections: bool = True
     max_search_elements: int = 16384
+    subsample_seed: int = 0
     calibration: CalibrationConfig = field(default_factory=CalibrationConfig)
     rounding: RoundingLearningConfig = field(default_factory=RoundingLearningConfig)
+    policy: Optional[QuantizationPolicy] = None
+
+    # ------------------------------------------------------------------
+    def weight_scheme(self) -> QuantScheme:
+        return get_scheme(self.weight_dtype)
+
+    def activation_scheme(self) -> QuantScheme:
+        return get_scheme(self.activation_dtype)
 
     @property
     def label(self) -> str:
         """Row label in the paper's "Bitwidth (W/A)" convention."""
-        names = {"fp32": "FP32", "fp8": "FP8", "fp4": "FP4",
-                 "int8": "INT8", "int4": "INT4"}
-        label = f"{names[self.weight_dtype]}/{names[self.activation_dtype]}"
-        if self.weight_dtype == "fp4" and not self.rounding_learning:
+        label = f"{self.weight_scheme().label}/{self.activation_scheme().label}"
+        if (self.weight_scheme().supports_rounding_learning
+                and not self.rounding_learning):
             label += " (no RL)"
+        if self.policy is not None and self.policy.rules:
+            label += " [mixed]"
         return label
+
+    def is_full_precision(self) -> bool:
+        """True when no layer can be touched (identity schemes, no policy)."""
+        defaults_identity = (self.weight_scheme().is_identity
+                             and self.activation_scheme().is_identity)
+        if not defaults_identity:
+            return False
+        if self.policy is None:
+            return True
+        return not any(not get_scheme(name).is_identity
+                       for name in self.policy.referenced_schemes())
+
+    def requires_calibration(self) -> bool:
+        """Whether quantization needs recorded activations for this config."""
+        activation_schemes = [self.activation_scheme()]
+        weight_schemes = [self.weight_scheme()]
+        if self.policy is not None:
+            for rule in self.policy.rules:
+                if rule.activations is not None:
+                    activation_schemes.append(get_scheme(rule.activations))
+                if rule.weights is not None:
+                    weight_schemes.append(get_scheme(rule.weights))
+        if any(not scheme.is_identity for scheme in activation_schemes):
+            return True
+        return self.rounding_learning and any(
+            scheme.supports_rounding_learning for scheme in weight_schemes)
 
     def scaled_for_speed(self, num_bias_candidates: int = 21,
                          rounding_iterations: int = 30) -> "QuantizationConfig":
@@ -93,6 +131,45 @@ class QuantizationConfig:
             num_bias_candidates=num_bias_candidates,
             rounding=replace(self.rounding, iterations=rounding_iterations),
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Plain-dict form (JSON-safe; predicate policy rules are rejected)."""
+        return {
+            "weight_dtype": self.weight_dtype,
+            "activation_dtype": self.activation_dtype,
+            "rounding_learning": self.rounding_learning,
+            "num_bias_candidates": self.num_bias_candidates,
+            "quantize_skip_connections": self.quantize_skip_connections,
+            "max_search_elements": self.max_search_elements,
+            "subsample_seed": self.subsample_seed,
+            "calibration": asdict(self.calibration),
+            "rounding": asdict(self.rounding),
+            "policy": self.policy.to_dict() if self.policy is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "QuantizationConfig":
+        return cls(
+            weight_dtype=data["weight_dtype"],
+            activation_dtype=data["activation_dtype"],
+            rounding_learning=data.get("rounding_learning", False),
+            num_bias_candidates=data.get("num_bias_candidates",
+                                         DEFAULT_NUM_BIAS_CANDIDATES),
+            quantize_skip_connections=data.get("quantize_skip_connections", True),
+            max_search_elements=data.get("max_search_elements", 16384),
+            subsample_seed=data.get("subsample_seed", 0),
+            calibration=CalibrationConfig(**data.get("calibration", {})),
+            rounding=RoundingLearningConfig(**data.get("rounding", {})),
+            policy=QuantizationPolicy.from_dict(data.get("policy")),
+        )
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuantizationConfig":
+        return cls.from_dict(json.loads(text))
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +196,25 @@ def int4_int8_config() -> QuantizationConfig:
     return QuantizationConfig(weight_dtype="int4", activation_dtype="int8")
 
 
+def mixed_precision_config(model: DiffusionModel,
+                           boundary: SchemeLike = "fp8",
+                           interior: SchemeLike = "fp4",
+                           activation_dtype: str = "fp8",
+                           rounding_learning: bool = False
+                           ) -> QuantizationConfig:
+    """Mixed-precision preset: boundary layers high precision, interior low.
+
+    Builds a :func:`~repro.core.policy.boundary_interior_policy` over the
+    model's U-Net so the first and last quantizable layers use ``boundary``
+    while every other layer uses ``interior``.
+    """
+    policy = boundary_interior_policy(model.unet, boundary)
+    return QuantizationConfig(weight_dtype=get_scheme(interior).name,
+                              activation_dtype=activation_dtype,
+                              rounding_learning=rounding_learning,
+                              policy=policy)
+
+
 PAPER_CONFIGS: Dict[str, QuantizationConfig] = {
     "FP32/FP32": full_precision_config(),
     "INT8/INT8": int8_int8_config(),
@@ -141,9 +237,19 @@ class LayerQuantizationRecord:
     weight_format: str
     activation_format: str
     weight_mse: float
+    weight_scheme: str = "fp32"
+    activation_scheme: str = "fp32"
+    policy_rule: Optional[str] = None
     rounding_learning_used: bool = False
     rounding_mse_before: float = 0.0
     rounding_mse_after: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LayerQuantizationRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -163,81 +269,86 @@ class QuantizationReport:
             return 0.0
         return float(np.mean([record.weight_mse for record in self.layers]))
 
+    def scheme_histogram(self) -> Dict[str, int]:
+        """How many layers each weight scheme ended up on (policy visibility)."""
+        histogram: Dict[str, int] = {}
+        for record in self.layers:
+            histogram[record.weight_scheme] = histogram.get(record.weight_scheme, 0) + 1
+        return histogram
+
     def summary(self) -> str:
         lines = [f"quantization config: {self.config.label}",
                  f"quantized layers: {self.num_quantized_layers}",
                  f"quantized skip concats: {len(self.skip_concats)}",
                  f"mean weight quantization MSE: {self.mean_weight_mse():.3e}"]
+        histogram = self.scheme_histogram()
+        if len(histogram) > 1:
+            mix = ", ".join(f"{name}: {count}"
+                            for name, count in sorted(histogram.items()))
+            lines.append(f"weight scheme mix: {mix}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "config": self.config.to_dict(),
+            "layers": [record.to_dict() for record in self.layers],
+            "skip_concats": list(self.skip_concats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "QuantizationReport":
+        return cls(
+            config=QuantizationConfig.from_dict(data["config"]),
+            layers=[LayerQuantizationRecord.from_dict(r) for r in data["layers"]],
+            skip_concats=list(data.get("skip_concats", [])),
+        )
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "QuantizationReport":
+        return cls.from_dict(json.loads(text))
 
 
 # ----------------------------------------------------------------------
 # helpers
 # ----------------------------------------------------------------------
-def _subsample(values: np.ndarray, limit: int, seed: int = 0) -> np.ndarray:
-    """Deterministically subsample a flat array to bound search cost."""
-    flat = np.asarray(values, dtype=np.float32).reshape(-1)
-    if flat.size <= limit:
-        return flat
-    rng = np.random.default_rng(seed)
-    index = rng.choice(flat.size, size=limit, replace=False)
-    return flat[index]
-
-
 def clone_model(model: DiffusionModel) -> DiffusionModel:
     """Deep copy of a diffusion model bundle (weights included)."""
     return copy.deepcopy(model)
 
 
-def _build_weight_quantizer_and_data(layer, config: QuantizationConfig,
-                                     calibration: CalibrationData, path: str,
-                                     record: LayerQuantizationRecord):
-    """Quantize one layer's weight, returning (quantized_weight, quantizer)."""
-    weights = layer.weight.data
-    kind, bits = _dtype_kind_and_bits(config.weight_dtype)
-    if kind == "none":
-        record.weight_format = "FP32"
-        return weights.copy(), IdentityQuantizer()
+def _resolve_layer_schemes(config: QuantizationConfig, path: str, layer):
+    """Resolve the (weight, activation) schemes for one layer.
 
-    if kind == "int":
-        int_format = calibrate_int_format(weights, bits)
-        record.weight_format = f"INT{bits}"
-        quantized = quantize_int(weights, int_format)
-        record.weight_mse = float(np.mean((weights - quantized) ** 2))
-        return quantized, IntTensorQuantizer(int_format)
-
-    search = search_tensor_format(
-        _subsample(weights, config.max_search_elements), bits,
-        num_bias_candidates=config.num_bias_candidates)
-    fmt = search.fmt
-    record.weight_format = f"FP{bits}({fmt.name}, bias={fmt.bias:.2f})"
-    quantized = quantize_fp(weights, fmt)
-    record.weight_mse = float(np.mean((weights - quantized) ** 2))
-
-    use_rounding = config.rounding_learning and bits <= 4
-    samples = calibration.samples(path)
-    if use_rounding and samples:
-        result = learn_rounding(layer, fmt, samples, config.rounding)
-        quantized = quantize_fp_with_rounding(weights, fmt, result.round_up)
-        record.rounding_learning_used = True
-        record.rounding_mse_before = result.initial_output_mse
-        record.rounding_mse_after = result.final_output_mse
-        record.weight_mse = float(np.mean((weights - quantized) ** 2))
-    return quantized, FPTensorQuantizer(fmt)
+    The policy (if any) wins where it matches; the config defaults fill the
+    rest.  Returns ``(weight_scheme, activation_scheme, rule_label)``.
+    """
+    weight_scheme = config.weight_scheme()
+    activation_scheme = config.activation_scheme()
+    rule_label = None
+    if config.policy is not None:
+        decision = config.policy.resolve(path, layer)
+        if decision.weights is not None:
+            weight_scheme = get_scheme(decision.weights)
+            rule_label = decision.weight_rule
+        if decision.activations is not None:
+            activation_scheme = get_scheme(decision.activations)
+            rule_label = rule_label or decision.activation_rule
+    return weight_scheme, activation_scheme, rule_label
 
 
-def _build_activation_quantizer(samples: np.ndarray, config: QuantizationConfig
-                                ) -> TensorQuantizer:
-    """Choose the activation quantizer from initialization-dataset samples."""
-    kind, bits = _dtype_kind_and_bits(config.activation_dtype)
-    if kind == "none" or samples.size == 0:
-        return IdentityQuantizer()
-    samples = _subsample(samples, config.max_search_elements)
-    if kind == "int":
-        return IntTensorQuantizer.calibrated(samples, bits)
-    search = search_tensor_format(samples, bits,
-                                  num_bias_candidates=config.num_bias_candidates)
-    return FPTensorQuantizer(search.fmt)
+def _skip_concat_activation_scheme(config: QuantizationConfig, path: str,
+                                   module) -> QuantScheme:
+    """Activation scheme for one side of a skip concat (policy-aware)."""
+    scheme = config.activation_scheme()
+    if config.policy is not None:
+        decision = config.policy.resolve(path, module)
+        if decision.activations is not None:
+            scheme = get_scheme(decision.activations)
+    return scheme
 
 
 # ----------------------------------------------------------------------
@@ -253,11 +364,12 @@ def quantize_model(model: DiffusionModel, pipeline: DiffusionPipeline,
     ``pipeline`` must wrap the *full-precision* model and is only used to
     collect calibration data when ``calibration`` is not supplied.
     """
-    needs_calibration = (config.activation_dtype != "fp32"
-                         or (config.rounding_learning
-                             and config.weight_dtype.startswith("fp")))
+    # Resolving the default schemes up front also validates the dtype
+    # strings, so typos fail fast with the registry's error message.
+    config.weight_scheme()
+    config.activation_scheme()
     if calibration is None:
-        if needs_calibration:
+        if config.requires_calibration():
             calibration = collect_calibration_data(pipeline, config.calibration,
                                                    prompts=prompts)
         else:
@@ -267,12 +379,19 @@ def quantize_model(model: DiffusionModel, pipeline: DiffusionPipeline,
     unet = model.unet
 
     for path, layer in quantizable_layer_paths(unet):
+        weight_scheme, activation_scheme, rule_label = _resolve_layer_schemes(
+            config, path, layer)
+        if weight_scheme.is_identity and activation_scheme.is_identity:
+            continue
         record = LayerQuantizationRecord(
             path=path, layer_type=type(layer).__name__,
-            weight_format="FP32", activation_format="FP32", weight_mse=0.0)
-        quantized_weight, weight_quantizer = _build_weight_quantizer_and_data(
+            weight_format="FP32", activation_format="FP32", weight_mse=0.0,
+            weight_scheme=weight_scheme.name,
+            activation_scheme=activation_scheme.name,
+            policy_rule=rule_label)
+        quantized_weight, weight_quantizer = weight_scheme.quantize_weights(
             layer, config, calibration, path, record)
-        activation_quantizer = _build_activation_quantizer(
+        activation_quantizer = activation_scheme.build_activation_quantizer(
             calibration.concatenated(path), config)
         record.activation_format = activation_quantizer.describe()
 
@@ -285,11 +404,14 @@ def quantize_model(model: DiffusionModel, pipeline: DiffusionPipeline,
         unet.set_submodule(path, wrapper)
         report.layers.append(record)
 
-    if config.quantize_skip_connections and config.activation_dtype != "fp32":
-        for path, _ in skip_concat_paths(unet):
-            main_quantizer = _build_activation_quantizer(
+    if config.quantize_skip_connections:
+        for path, module in skip_concat_paths(unet):
+            scheme = _skip_concat_activation_scheme(config, path, module)
+            if scheme.is_identity:
+                continue
+            main_quantizer = scheme.build_activation_quantizer(
                 calibration.concatenated(f"{path}.main"), config)
-            skip_quantizer = _build_activation_quantizer(
+            skip_quantizer = scheme.build_activation_quantizer(
                 calibration.concatenated(f"{path}.skip"), config)
             unet.set_submodule(path, QuantizedSkipConcat(main_quantizer,
                                                          skip_quantizer))
@@ -305,13 +427,16 @@ def quantize_pipeline(pipeline: DiffusionPipeline, config: QuantizationConfig,
     This is the main public entry point used by the examples and benchmarks:
     it clones the full-precision model, quantizes the clone according to
     ``config`` and wraps it in a new pipeline with identical sampling
-    settings so seed-matched comparisons are possible.
+    settings so seed-matched comparisons are possible.  The returned
+    pipeline is always a distinct object — even for a full-precision config
+    — so mutating it can never corrupt the baseline.
     """
-    if config.weight_dtype == "fp32" and config.activation_dtype == "fp32":
-        return pipeline, QuantizationReport(config=config)
     quantized_model = clone_model(pipeline.model)
-    report = quantize_model(quantized_model, pipeline, config,
-                            calibration=calibration, prompts=prompts)
+    if config.is_full_precision():
+        report = QuantizationReport(config=config)
+    else:
+        report = quantize_model(quantized_model, pipeline, config,
+                                calibration=calibration, prompts=prompts)
     quantized_pipeline = DiffusionPipeline(quantized_model, spec=pipeline.spec,
                                            num_steps=pipeline.num_steps)
     return quantized_pipeline, report

@@ -13,6 +13,7 @@ from .harness import (
     BenchSettings,
     ExperimentRow,
     TableResult,
+    run_config_experiment,
     run_quantization_table,
     run_sparsity_experiment,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "DEFAULT_BENCH_SETTINGS",
     "ExperimentRow",
     "TableResult",
+    "run_config_experiment",
     "run_quantization_table",
     "run_sparsity_experiment",
 ]

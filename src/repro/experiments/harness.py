@@ -145,6 +145,12 @@ def run_quantization_table(model_name: str,
     external dataset reference and against the full-precision model's own
     generations.
     """
+    unknown = [label for label in config_labels if label not in PAPER_CONFIGS]
+    if unknown:
+        raise ValueError(
+            f"unknown config labels {unknown}; "
+            f"known labels: {sorted(PAPER_CONFIGS)}")
+
     spec = get_model_spec(model_name)
     pipeline = load_benchmark_pipeline(model_name, settings)
 
@@ -181,8 +187,7 @@ def run_quantization_table(model_name: str,
         if label == "FP32/FP32":
             generated, report = full_precision_images, None
         else:
-            if shared_calibration is None and (
-                    config.activation_dtype != "fp32" or config.rounding_learning):
+            if shared_calibration is None and config.requires_calibration():
                 shared_calibration = collect_calibration_data(
                     pipeline, config.calibration, prompts=prompts)
             quantized, report = quantize_pipeline(pipeline, config, prompts=prompts,
@@ -199,6 +204,40 @@ def run_quantization_table(model_name: str,
     return TableResult(model_name=model_name,
                        reference_names=list(references),
                        rows=rows, settings=settings)
+
+
+def run_config_experiment(model_name: str, config: QuantizationConfig,
+                          settings: BenchSettings = DEFAULT_BENCH_SETTINGS
+                          ) -> ExperimentRow:
+    """Run one arbitrary :class:`QuantizationConfig` (e.g. a policy-driven
+    mixed-precision experiment) against the full-precision baseline.
+
+    Unlike :func:`run_quantization_table` this takes a ready-made config
+    instead of a ``PAPER_CONFIGS`` label, so custom schemes and per-layer
+    policies plug straight in.  Metrics are reported against the
+    full-precision model's own generations (the paper's proposed reference).
+    """
+    spec = get_model_spec(model_name)
+    pipeline = load_benchmark_pipeline(model_name, settings)
+    scaled = settings.scale_config(config)
+
+    prompts = None
+    if spec.task == "text-to-image":
+        prompts = PromptDataset(settings.num_images, image_size=spec.image_size,
+                                seed=settings.seed + 7).prompts
+
+    def generate(pipe: DiffusionPipeline) -> np.ndarray:
+        if prompts is not None:
+            return pipe.generate_from_prompts(prompts, seed=settings.seed,
+                                              batch_size=settings.batch_size)
+        return pipe.generate(settings.num_images, seed=settings.seed,
+                             batch_size=settings.batch_size)
+
+    reference = generate(pipeline)
+    quantized, report = quantize_pipeline(pipeline, scaled, prompts=prompts)
+    generated = generate(quantized)
+    metrics = {"full-precision generated": evaluate_images(generated, reference)}
+    return ExperimentRow(label=scaled.label, metrics=metrics, report=report)
 
 
 def run_sparsity_experiment(model_name: str,

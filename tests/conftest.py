@@ -11,28 +11,10 @@ import pytest
 
 from repro.data import PromptDataset
 from repro.diffusion import DiffusionPipeline
-from repro.models import DiffusionModel, ModelSpec, UNetConfig
+from repro.models import DiffusionModel
 from repro.zoo import PretrainConfig, load_pretrained
 
-
-TINY_UNET = UNetConfig(in_channels=3, out_channels=3, base_channels=8,
-                       channel_multipliers=(1, 2), num_res_blocks=1,
-                       attention_levels=(1,), num_heads=2)
-
-
-def make_tiny_spec(name: str = "tiny-unconditional", task: str = "unconditional",
-                   latent: bool = False) -> ModelSpec:
-    """A minimal model spec used for fast unit tests."""
-    unet = UNetConfig(
-        in_channels=4 if latent else 3, out_channels=4 if latent else 3,
-        base_channels=8, channel_multipliers=(1, 2), num_res_blocks=1,
-        attention_levels=(1,), num_heads=2,
-        context_dim=16 if task == "text-to-image" else None)
-    return ModelSpec(
-        name=name, task=task, image_size=16, image_channels=3,
-        latent=latent, latent_channels=4, latent_downsample=4,
-        unet=unet, text_embed_dim=16 if task == "text-to-image" else None,
-        train_timesteps=20, default_sampling_steps=4, seed=3)
+from tiny_factories import TINY_UNET, make_tiny_spec  # noqa: F401  (re-exported)
 
 
 @pytest.fixture(scope="session")

@@ -57,10 +57,22 @@ class TestQuantizationConfig:
 
 
 class TestQuantizePipeline:
-    def test_full_precision_config_is_passthrough(self, tiny_pipeline):
+    def test_full_precision_config_returns_distinct_pipeline(self, tiny_pipeline):
         quantized, report = quantize_pipeline(tiny_pipeline, full_precision_config())
-        assert quantized is tiny_pipeline
+        # A distinct pipeline and model: mutating the result can never
+        # corrupt the caller's full-precision baseline.
+        assert quantized is not tiny_pipeline
+        assert quantized.model is not tiny_pipeline.model
         assert report.num_quantized_layers == 0
+        # ... but it is functionally identical (no layer was touched).
+        types = {path: type(module) for path, module
+                 in quantizable_layer_paths(quantized.model.unet)}
+        original = {path: type(module) for path, module
+                    in quantizable_layer_paths(tiny_pipeline.model.unet)}
+        assert types == original
+        reference = tiny_pipeline.generate(2, seed=0, batch_size=2)
+        clone_images = quantized.generate(2, seed=0, batch_size=2)
+        assert np.allclose(reference, clone_images)
 
     def test_fp8_replaces_all_layers_and_preserves_original(self, tiny_pipeline):
         original_types = {path: type(module) for path, module

@@ -19,7 +19,7 @@ from repro.models import (
 )
 from repro.tensor import Tensor
 
-from conftest import make_tiny_spec
+from tiny_factories import make_tiny_spec
 
 
 class TestTimestepEmbedding:

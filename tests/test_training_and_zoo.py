@@ -7,7 +7,7 @@ from repro.diffusion import train_autoencoder, train_denoiser
 from repro.models import DiffusionModel
 from repro.zoo import PretrainConfig, load_pretrained, zoo_cache_path
 
-from conftest import make_tiny_spec
+from tiny_factories import make_tiny_spec
 
 
 class TestTraining:

@@ -1,0 +1,30 @@
+"""Tiny model factories shared between the test-suite conftest and tests.
+
+This lives in its own module (rather than ``conftest.py``) because test files
+import it directly: ``from conftest import ...`` is ambiguous when both
+``tests/`` and ``benchmarks/`` define a ``conftest`` module in the same
+pytest run.
+"""
+
+from __future__ import annotations
+
+from repro.models import ModelSpec, UNetConfig
+
+TINY_UNET = UNetConfig(in_channels=3, out_channels=3, base_channels=8,
+                       channel_multipliers=(1, 2), num_res_blocks=1,
+                       attention_levels=(1,), num_heads=2)
+
+
+def make_tiny_spec(name: str = "tiny-unconditional", task: str = "unconditional",
+                   latent: bool = False) -> ModelSpec:
+    """A minimal model spec used for fast unit tests."""
+    unet = UNetConfig(
+        in_channels=4 if latent else 3, out_channels=4 if latent else 3,
+        base_channels=8, channel_multipliers=(1, 2), num_res_blocks=1,
+        attention_levels=(1,), num_heads=2,
+        context_dim=16 if task == "text-to-image" else None)
+    return ModelSpec(
+        name=name, task=task, image_size=16, image_channels=3,
+        latent=latent, latent_channels=4, latent_downsample=4,
+        unet=unet, text_embed_dim=16 if task == "text-to-image" else None,
+        train_timesteps=20, default_sampling_steps=4, seed=3)
