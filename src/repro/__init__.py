@@ -22,13 +22,17 @@ Subpackages
     FID, sFID, Precision/Recall and a CLIP-score substitute.
 ``repro.profiling``
     analytic latency/memory characterization of the U-Net.
+``repro.serving``
+    dynamic-batching inference engine: request queue, model-variant pool,
+    embedding cache and SLO-aware scheme routing.
 """
 
-from . import core, data, diffusion, metrics, models, nn, profiling, tensor, zoo
+from . import (core, data, diffusion, metrics, models, nn, profiling,
+               serving, tensor, zoo)
 
 __version__ = "0.1.0"
 
 __all__ = [
     "core", "data", "diffusion", "metrics", "models", "nn", "profiling",
-    "tensor", "zoo", "__version__",
+    "serving", "tensor", "zoo", "__version__",
 ]

@@ -84,15 +84,67 @@ class DiffusionPipeline:
         return self._run(num_images, seed, batch_size, context_batches=None,
                          use_ddpm=use_ddpm, trace=trace)
 
+    def encode_prompts_deduped(self, prompts: Sequence[str],
+                               batch_size: int = 8) -> np.ndarray:
+        """Encode prompts, running the text encoder once per *unique* prompt.
+
+        Serving workloads repeat popular prompts heavily; encoding the unique
+        set and gathering rows back into request order makes the encoder cost
+        proportional to the number of distinct prompts.  Returns the stacked
+        context embeddings as a ``(len(prompts), tokens, dim)`` array.
+        """
+        prompts = list(prompts)
+        unique = list(dict.fromkeys(prompts))
+        encoded: List[np.ndarray] = []
+        for start in range(0, len(unique), batch_size):
+            encoded.append(self.encode_prompts(unique[start:start + batch_size]).data)
+        rows = np.concatenate(encoded, axis=0)
+        index = {prompt: i for i, prompt in enumerate(unique)}
+        return rows[[index[prompt] for prompt in prompts]]
+
     def generate_from_prompts(self, prompts: Sequence[str], seed: int = 0,
                               batch_size: int = 8, trace=None) -> np.ndarray:
-        """Text-to-image generation, one image per prompt."""
+        """Text-to-image generation, one image per prompt.
+
+        Repeated prompts are deduplicated before encoding: the text encoder
+        runs once per unique prompt and its outputs are gathered back into
+        prompt order, so popular-prompt workloads pay encoder cost only for
+        the distinct prompts.
+        """
         prompts = list(prompts)
+        full_context = self.encode_prompts_deduped(prompts, batch_size)
         contexts: List[Tensor] = []
         for start in range(0, len(prompts), batch_size):
-            contexts.append(self.encode_prompts(prompts[start:start + batch_size]))
+            contexts.append(Tensor(full_context[start:start + batch_size]))
         return self._run(len(prompts), seed, batch_size, context_batches=contexts,
                          use_ddpm=False, trace=trace)
+
+    def generate_batch(self, seeds: Sequence[int],
+                       context: Optional[Tensor] = None,
+                       trace=None) -> np.ndarray:
+        """Serving path: generate one already-formed batch in a single pass.
+
+        Unlike :meth:`generate` / :meth:`generate_from_prompts` (which chunk a
+        dataset into fixed-size batches under one seed), this runs exactly one
+        sampler pass over a batch assembled elsewhere — the dynamic batcher in
+        :mod:`repro.serving` — with a *per-request* seed for each row and an
+        optional precomputed (possibly cached) context.  Each row's output
+        depends only on its own seed and context, never on its batchmates, so
+        a request's image is identical whatever batch it lands in.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return np.zeros((0,) + self.spec.sample_shape, dtype=np.float32)
+        if context is not None and context.data.shape[0] != len(seeds):
+            raise ValueError(
+                f"context batch dimension {context.data.shape[0]} does not "
+                f"match {len(seeds)} seeds")
+        noise = np.concatenate([self.initial_noise(1, s) for s in seeds], axis=0)
+        rng = np.random.default_rng(seeds[0] + 1)
+        latents = self.sampler.sample(self.model, self.sample_shape(len(seeds)),
+                                      rng, context=context, trace=trace,
+                                      initial_noise=noise)
+        return self.decode_latents(latents)
 
     def _run(self, num_images: int, seed: int, batch_size: int,
              context_batches, use_ddpm: bool, trace) -> np.ndarray:

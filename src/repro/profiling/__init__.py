@@ -4,7 +4,9 @@ from .cost_model import (
     BYTES_FP32,
     BYTES_FP16,
     BYTES_FP8,
+    BYTES_FP4,
     LayerCost,
+    scheme_bytes_per_element,
     flops_by_kind,
     paper_scale_stable_diffusion_config,
     total_flops,
@@ -17,6 +19,7 @@ from .latency import (
     GPU_V100,
     DeviceProfile,
     estimate_latency,
+    estimate_scheme_latency,
     grouped_breakdown,
     latency_breakdown,
     normalized_breakdown,
@@ -26,9 +29,11 @@ from .memory import MemoryEstimate, estimate_peak_memory, memory_vs_batch_size
 __all__ = [
     "LayerCost", "unet_layer_costs", "total_flops", "total_weight_elements",
     "flops_by_kind", "paper_scale_stable_diffusion_config",
-    "BYTES_FP32", "BYTES_FP16", "BYTES_FP8",
+    "BYTES_FP32", "BYTES_FP16", "BYTES_FP8", "BYTES_FP4",
+    "scheme_bytes_per_element",
     "DeviceProfile", "GPU_V100", "CPU_XEON", "DEVICE_PROFILES",
-    "estimate_latency", "latency_breakdown", "normalized_breakdown",
+    "estimate_latency", "estimate_scheme_latency",
+    "latency_breakdown", "normalized_breakdown",
     "grouped_breakdown",
     "MemoryEstimate", "estimate_peak_memory", "memory_vs_batch_size",
 ]

@@ -24,6 +24,22 @@ from ..models.unet import UNetConfig
 BYTES_FP32 = 4
 BYTES_FP16 = 2
 BYTES_FP8 = 1
+BYTES_FP4 = 0.5
+
+
+def scheme_bytes_per_element(scheme) -> float:
+    """Bytes per element a quantization scheme moves through memory.
+
+    Resolves any registered :class:`~repro.core.schemes.QuantScheme` (or its
+    name) to ``bits / 8`` — FP8/INT8 move one byte per element, FP4/INT4 half
+    a byte (hardware packs two values per byte).  This is what makes the
+    roofline's memory-bound term scheme-dependent: quantized layers move
+    fewer bytes, so memory-bound layers get proportionally faster even
+    though FLOPs are unchanged.
+    """
+    from ..core.schemes import get_scheme
+
+    return get_scheme(scheme).bits / 8.0
 
 
 @dataclass
@@ -38,10 +54,10 @@ class LayerCost:
     input_elements: float
     extra: Dict[str, float] = field(default_factory=dict)
 
-    def weight_bytes(self, bytes_per_element: int = BYTES_FP32) -> float:
+    def weight_bytes(self, bytes_per_element: float = BYTES_FP32) -> float:
         return self.weight_elements * bytes_per_element
 
-    def activation_bytes(self, bytes_per_element: int = BYTES_FP32) -> float:
+    def activation_bytes(self, bytes_per_element: float = BYTES_FP32) -> float:
         return (self.input_elements + self.output_elements) * bytes_per_element
 
 

@@ -13,9 +13,9 @@ exactly what Figure 4 reports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
-from .cost_model import BYTES_FP32, LayerCost
+from .cost_model import BYTES_FP32, LayerCost, scheme_bytes_per_element
 
 
 @dataclass(frozen=True)
@@ -28,10 +28,20 @@ class DeviceProfile:
     layer_overhead: float      # fixed per-layer launch/dispatch cost in seconds
 
     def layer_latency(self, cost: LayerCost,
-                      bytes_per_element: int = BYTES_FP32) -> float:
+                      bytes_per_element: float = BYTES_FP32,
+                      weight_bytes_per_element: Optional[float] = None) -> float:
+        """Roofline latency of one layer.
+
+        ``bytes_per_element`` sizes the activation traffic;
+        ``weight_bytes_per_element`` (defaulting to the same value) sizes the
+        weight traffic, so weight-only quantization can be modelled
+        separately from activation quantization.
+        """
+        if weight_bytes_per_element is None:
+            weight_bytes_per_element = bytes_per_element
         compute_time = cost.flops / self.peak_flops
         bytes_moved = (cost.activation_bytes(bytes_per_element)
-                       + cost.weight_bytes(bytes_per_element))
+                       + cost.weight_bytes(weight_bytes_per_element))
         memory_time = bytes_moved / self.memory_bandwidth
         return max(compute_time, memory_time) + self.layer_overhead
 
@@ -51,14 +61,33 @@ DEVICE_PROFILES: Dict[str, DeviceProfile] = {
 
 
 def estimate_latency(costs: Iterable[LayerCost], device: DeviceProfile,
-                     bytes_per_element: int = BYTES_FP32) -> float:
+                     bytes_per_element: float = BYTES_FP32,
+                     weight_bytes_per_element: Optional[float] = None) -> float:
     """Total estimated latency of one forward pass on ``device``."""
-    return float(sum(device.layer_latency(cost, bytes_per_element)
+    return float(sum(device.layer_latency(cost, bytes_per_element,
+                                          weight_bytes_per_element)
                      for cost in costs))
 
 
+def estimate_scheme_latency(costs: Iterable[LayerCost], device: DeviceProfile,
+                            weight_scheme, activation_scheme=None) -> float:
+    """Forward-pass latency under a quantization scheme's byte widths.
+
+    Resolves the scheme(s) to bytes-per-element (FP8 → 1, FP4 → 0.5, ...)
+    so memory-bound layers speed up in proportion to the precision, the
+    mechanism behind the paper's FP8/FP4 bandwidth savings.  When
+    ``activation_scheme`` is omitted the weight scheme sizes both tensors.
+    This is the cost model the serving subsystem's SLO router queries.
+    """
+    weight_bpe = scheme_bytes_per_element(weight_scheme)
+    activation_bpe = (weight_bpe if activation_scheme is None
+                      else scheme_bytes_per_element(activation_scheme))
+    return estimate_latency(costs, device, bytes_per_element=activation_bpe,
+                            weight_bytes_per_element=weight_bpe)
+
+
 def latency_breakdown(costs: Iterable[LayerCost], device: DeviceProfile,
-                      bytes_per_element: int = BYTES_FP32) -> Dict[str, float]:
+                      bytes_per_element: float = BYTES_FP32) -> Dict[str, float]:
     """Latency per layer kind, the quantity plotted in the paper's Figure 4."""
     breakdown: Dict[str, float] = {}
     for cost in costs:

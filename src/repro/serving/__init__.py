@@ -1,0 +1,53 @@
+"""Serving subsystem: a dynamic-batching inference engine over the zoo.
+
+Turns the one-shot experiment pipelines into a traffic-serving layer, in
+the spirit of the paper's workload characterization: quantization schemes
+become *serving variants* with predictable latency/memory costs, and the
+engine exploits that to meet per-request latency SLOs.
+
+Components (one module each):
+
+* :mod:`~repro.serving.request` — ``Request``/``Response`` model and the
+  bounded admission queue;
+* :mod:`~repro.serving.batcher` — dynamic batching of compatible requests
+  (same model, scheme, step count) under size/wait bounds;
+* :mod:`~repro.serving.pool` — lazily-built, LRU-evicted pool of quantized
+  pipeline variants under an analytic memory budget;
+* :mod:`~repro.serving.embedding_cache` — memoized text-encoder outputs
+  per (model, prompt);
+* :mod:`~repro.serving.router` — SLO-aware scheme selection from the
+  roofline cost model;
+* :mod:`~repro.serving.stats` — queue-wait/batch/latency/cache telemetry
+  and the JSON stats report;
+* :mod:`~repro.serving.engine` — the orchestrating engine (lifecycle:
+  queue → route → batch → variant pool → generate → stats);
+* :mod:`~repro.serving.loadgen` — deterministic workload generation and
+  the load benchmark entry point.
+"""
+
+from .batcher import Batch, BatchKey, DynamicBatcher
+from .embedding_cache import EmbeddingCache
+from .engine import EngineConfig, ServingEngine
+from .loadgen import (
+    SLO_TIERS,
+    WorkloadConfig,
+    generate_workload,
+    run_load_benchmark,
+    slo_for_tier,
+)
+from .pool import ModelVariantPool, variant_cost_bytes
+from .request import QueueFullError, Request, RequestQueue, Response
+from .router import DEFAULT_SCHEMES, SLORouter
+from .stats import BatchRecord, RequestRecord, ServingStats
+
+__all__ = [
+    "Request", "Response", "RequestQueue", "QueueFullError",
+    "BatchKey", "Batch", "DynamicBatcher",
+    "ModelVariantPool", "variant_cost_bytes",
+    "EmbeddingCache",
+    "SLORouter", "DEFAULT_SCHEMES",
+    "ServingStats", "RequestRecord", "BatchRecord",
+    "ServingEngine", "EngineConfig",
+    "WorkloadConfig", "generate_workload", "run_load_benchmark",
+    "slo_for_tier", "SLO_TIERS",
+]

@@ -1,0 +1,238 @@
+"""The serving engine: queue -> route -> batch -> variant pool -> stats.
+
+Request lifecycle
+-----------------
+
+1. **Admission** (:meth:`ServingEngine.submit`): the request is validated,
+   stamped with an id and arrival time and pushed into the bounded
+   :class:`~repro.serving.request.RequestQueue`; at capacity the request is
+   rejected (counted in the stats report) instead of buffered unboundedly.
+2. **Routing**: the :class:`~repro.serving.router.SLORouter` predicts
+   per-scheme latency from the roofline cost model and picks the
+   highest-quality scheme that fits the request's SLO.
+3. **Batching**: the :class:`~repro.serving.batcher.DynamicBatcher` groups
+   requests that share ``(model, scheme, num_steps)`` until a batch fills
+   or the oldest member has waited ``max_wait`` seconds.
+4. **Generation**: the batch's pipeline variant comes from the
+   :class:`~repro.serving.pool.ModelVariantPool` (built lazily, LRU-evicted
+   under a memory budget); text prompts resolve through the
+   :class:`~repro.serving.embedding_cache.EmbeddingCache`; the whole batch
+   runs in one :meth:`~repro.diffusion.DiffusionPipeline.generate_batch`
+   sampler pass with per-request seeds.
+5. **Instrumentation**: every request/batch lands in
+   :class:`~repro.serving.stats.ServingStats` (queue wait, batch size,
+   latency percentiles, throughput, cache hit rates) for the JSON report.
+
+The engine is single-threaded and synchronous: ``submit`` enqueues,
+:meth:`run_until_idle` drains.  That keeps semantics deterministic and
+testable; concurrency can be layered on top by driving multiple engines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..diffusion import DiffusionPipeline
+from ..models import get_model_spec
+from ..tensor import Tensor
+from .batcher import Batch, BatchKey, DynamicBatcher
+from .embedding_cache import EmbeddingCache
+from .pool import ModelVariantPool
+from .request import QueueFullError, Request, RequestQueue, Response
+from .router import SLORouter
+from .stats import BatchRecord, RequestRecord, ServingStats
+
+
+@dataclass
+class EngineConfig:
+    """Engine-level serving knobs."""
+
+    max_batch_size: int = 8
+    max_wait: float = 0.02          # seconds a partial batch may age
+    queue_capacity: int = 256
+    embedding_cache_capacity: int = 1024
+
+
+class ServingEngine:
+    """Single-node serving engine over a model-variant pool."""
+
+    def __init__(self, pool: ModelVariantPool,
+                 router: Optional[SLORouter] = None,
+                 config: Optional[EngineConfig] = None,
+                 embedding_cache: Optional[EmbeddingCache] = None,
+                 stats: Optional[ServingStats] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.pool = pool
+        self.router = router or SLORouter()
+        self.config = config or EngineConfig()
+        self.clock = clock
+        self.queue = RequestQueue(self.config.queue_capacity)
+        self.batcher = DynamicBatcher(self.config.max_batch_size,
+                                      self.config.max_wait, clock=clock)
+        self.embedding_cache = embedding_cache or EmbeddingCache(
+            self.config.embedding_cache_capacity)
+        self.stats = stats or ServingStats()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> bool:
+        """Admit a request; returns False (and counts a rejection) when shed."""
+        spec = get_model_spec(request.model)
+        if spec.task == "text-to-image" and request.prompt is None:
+            raise ValueError(
+                f"model '{request.model}' is text-to-image; request needs a prompt")
+        if request.request_id is None:
+            request.request_id = self._next_id
+            self._next_id += 1
+        request.arrival_time = self.clock()
+        self.stats.mark_start(request.arrival_time)
+        try:
+            self.queue.push(request)
+        except QueueFullError:
+            self.stats.record_rejection()
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _resolve_steps(self, request: Request) -> int:
+        if request.num_steps is not None:
+            return request.num_steps
+        return get_model_spec(request.model).default_sampling_steps
+
+    def _batch_key(self, request: Request) -> BatchKey:
+        steps = self._resolve_steps(request)
+        scheme = self.router.route(request, num_steps=steps)
+        return BatchKey(model=request.model, scheme=scheme, num_steps=steps)
+
+    def _pipeline_for(self, key: BatchKey) -> DiffusionPipeline:
+        pipeline = self.pool.get(key.model, key.scheme)
+        if pipeline.num_steps == key.num_steps:
+            return pipeline
+        # Re-wrap the pooled variant's (quantized) model with the requested
+        # step count.  The view is built per batch rather than cached: it is
+        # cheap (a schedule + sampler), and holding it would pin variants
+        # the pool has evicted, defeating the memory budget.
+        return DiffusionPipeline(pipeline.model, spec=pipeline.spec,
+                                 num_steps=key.num_steps)
+
+    def _process_batch(self, batch: Batch) -> List[Response]:
+        started = self.clock()
+        pipeline = self._pipeline_for(batch.key)
+        context = None
+        hit_flags: Optional[List[bool]] = None
+        if pipeline.is_text_to_image:
+            prompts = [request.prompt for request in batch.requests]
+            contexts, hit_flags = self.embedding_cache.get_contexts(
+                batch.key.model, pipeline, prompts)
+            context = Tensor(contexts)
+        seeds = [request.seed for request in batch.requests]
+        images = pipeline.generate_batch(seeds, context=context)
+        finished = self.clock()
+        self.stats.mark_finish(finished)
+        batch_latency = finished - started
+        self.stats.record_batch(BatchRecord(
+            model=batch.key.model, scheme=batch.key.scheme,
+            num_steps=batch.key.num_steps, batch_size=len(batch),
+            latency=batch_latency))
+
+        responses: List[Response] = []
+        for position, request in enumerate(batch.requests):
+            arrival = request.arrival_time
+            queue_wait = (batch.formed_at - arrival) if arrival is not None else 0.0
+            queue_wait = max(queue_wait, 0.0)
+            response = Response(
+                request_id=request.request_id,
+                model=batch.key.model,
+                scheme=batch.key.scheme,
+                num_steps=batch.key.num_steps,
+                image=images[position],
+                queue_wait=queue_wait,
+                batch_size=len(batch),
+                batch_latency=batch_latency,
+                total_latency=queue_wait + batch_latency,
+                embedding_cache_hit=(hit_flags[position]
+                                     if hit_flags is not None else None))
+            responses.append(response)
+            self.stats.record_request(RequestRecord(
+                request_id=request.request_id, model=batch.key.model,
+                scheme=batch.key.scheme, num_steps=batch.key.num_steps,
+                queue_wait=queue_wait, batch_size=len(batch),
+                batch_latency=batch_latency,
+                total_latency=response.total_latency,
+                latency_slo=request.latency_slo,
+                slo_met=response.meets_slo(request.latency_slo)))
+        return responses
+
+    def _drain_queue(self) -> List[Response]:
+        """Move queued requests into the batcher, serving batches that fill."""
+        responses: List[Response] = []
+        while len(self.queue):
+            request = self.queue.pop()
+            key = self._batch_key(request)
+            full = self.batcher.add(key, request)
+            if full is not None:
+                responses.extend(self._process_batch(full))
+        return responses
+
+    def pump(self) -> List[Response]:
+        """One live-serving turn: drain arrivals, then close aged batches.
+
+        A server loop alternates ``submit`` (as traffic arrives) with
+        ``pump``; partial batches are held back until they fill or their
+        oldest member has waited ``max_wait`` seconds.
+        """
+        responses = self._drain_queue()
+        for due in self.batcher.due():
+            responses.extend(self._process_batch(due))
+        self.sync_component_stats()
+        return responses
+
+    def run_until_idle(self) -> List[Response]:
+        """Drain the queue and all pending batches; return every response.
+
+        Unlike :meth:`pump`, no more arrivals are coming, so remaining
+        partial batches are flushed immediately rather than aged out.
+        """
+        responses = self._drain_queue()
+        for batch in self.batcher.flush():
+            responses.extend(self._process_batch(batch))
+        self.sync_component_stats()
+        return responses
+
+    def serve(self, requests: Sequence[Request]) -> List[Response]:
+        """Submit a workload and drain it (the load-generator entry point)."""
+        for request in requests:
+            self.submit(request)
+        return self.run_until_idle()
+
+    def serve_sequential(self, requests: Sequence[Request]) -> List[Response]:
+        """Baseline: serve each request in its own generation pass.
+
+        This is the pre-serving behaviour (one ``generate`` call per
+        request) with identical routing, pooling and instrumentation —
+        the benchmark's control arm for measuring what dynamic batching
+        buys.
+        """
+        responses: List[Response] = []
+        for request in requests:
+            if not self.submit(request):
+                continue
+            request = self.queue.pop()
+            key = self._batch_key(request)
+            batch = Batch(key=key, requests=[request], formed_at=self.clock())
+            responses.extend(self._process_batch(batch))
+        self.sync_component_stats()
+        return responses
+
+    # ------------------------------------------------------------------
+    def sync_component_stats(self) -> None:
+        """Copy cache/pool counters into the stats report's component block."""
+        self.stats.set_component_stats("embedding_cache",
+                                       self.embedding_cache.stats())
+        self.stats.set_component_stats("variant_pool", self.pool.stats())

@@ -1,0 +1,99 @@
+"""Load generator: deterministic mixed serving workloads + benchmark runner.
+
+Builds request streams with the properties that make serving interesting:
+a pool of prompts reused with a Zipf-like popularity skew (so the
+embedding cache has something to hit), a mix of models, and a mix of
+latency SLO tiers (so the router serves different schemes).  Everything is
+seeded, so a workload is reproducible across runs and across the
+sequential-vs-batched comparison in the throughput benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.prompts import sample_prompt_specs
+from ..models import get_model_spec
+from .engine import ServingEngine
+from .request import Request
+from .router import SLORouter
+
+#: Symbolic SLO tiers resolved against the router's per-scheme predictions.
+#: ``None`` means "no SLO" (router serves best quality).
+SLO_TIERS = ("loose", "medium", "tight", None)
+
+
+def slo_for_tier(router: SLORouter, model: str, num_steps: int,
+                 tier: Optional[str]) -> Optional[float]:
+    """Turn a symbolic tier into a concrete latency target in seconds.
+
+    ``loose`` fits every candidate scheme, ``tight`` only the cheapest,
+    ``medium`` sits midway — derived from the router's own predictions so
+    the tiers stay meaningful whatever the model scale or device profile.
+    """
+    if tier is None:
+        return None
+    predictions = router.predictions(model, num_steps)
+    cheapest = min(predictions.values())
+    dearest = max(predictions.values())
+    if tier == "loose":
+        return 2.0 * dearest
+    if tier == "medium":
+        return 0.5 * (cheapest + dearest)
+    if tier == "tight":
+        return 1.0001 * cheapest
+    raise ValueError(f"unknown SLO tier {tier!r}; use one of {SLO_TIERS}")
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of a synthetic serving workload."""
+
+    num_requests: int = 32
+    models: Sequence[str] = ("stable-diffusion",)
+    num_steps: Optional[int] = None       # None -> each model's default
+    prompt_pool_size: int = 8
+    popularity_skew: float = 1.2          # Zipf exponent; 0 = uniform prompts
+    slo_tiers: Sequence[Optional[str]] = (None,)
+    seed: int = 0
+
+
+def generate_workload(config: WorkloadConfig,
+                      router: Optional[SLORouter] = None) -> List[Request]:
+    """Draw a deterministic request stream from the workload description."""
+    router = router or SLORouter()
+    rng = np.random.default_rng(config.seed)
+    prompt_pool = [spec.to_text() for spec in
+                   sample_prompt_specs(config.prompt_pool_size,
+                                       seed=config.seed)]
+    ranks = np.arange(1, len(prompt_pool) + 1, dtype=np.float64)
+    popularity = ranks ** -config.popularity_skew
+    popularity /= popularity.sum()
+
+    requests: List[Request] = []
+    for index in range(config.num_requests):
+        model = config.models[int(rng.integers(len(config.models)))]
+        spec = get_model_spec(model)
+        steps = config.num_steps or spec.default_sampling_steps
+        prompt = None
+        if spec.task == "text-to-image":
+            prompt = prompt_pool[int(rng.choice(len(prompt_pool), p=popularity))]
+        tier = config.slo_tiers[int(rng.integers(len(config.slo_tiers)))]
+        requests.append(Request(
+            model=model, prompt=prompt, num_steps=steps,
+            latency_slo=slo_for_tier(router, model, steps, tier),
+            seed=int(rng.integers(2 ** 31)),
+        ))
+    return requests
+
+
+def run_load_benchmark(engine: ServingEngine, requests: Sequence[Request],
+                       report_path=None) -> Dict:
+    """Drive a workload through the engine and return (and save) the report."""
+    engine.serve(requests)
+    if report_path is not None:
+        engine.stats.to_json(report_path)
+    return engine.stats.report()

@@ -1,0 +1,152 @@
+"""Model-variant pool: quantized pipelines per (model, scheme), LRU-evicted.
+
+The quantization registry gives every checkpoint a family of precision
+variants (FP32, FP8, FP4, INT8, ...).  The pool is the serving-side owner of
+those variants: :meth:`ModelVariantPool.get` lazily builds the pipeline for
+a ``(model, scheme)`` pair — loading the zoo checkpoint (memoized
+in-process by :func:`repro.zoo.load_pretrained`) and running post-training
+quantization via :func:`repro.core.quantize_pipeline` — and caches it.
+
+Resident variants are charged against a **memory budget** using the
+analytic peak-memory estimator of :mod:`repro.profiling.memory` with
+scheme-dependent bytes per element, so an FP4 variant costs the pool ~8x
+less than FP32 and low-precision variants pack denser.  When a build pushes
+the total over budget, least-recently-used variants are evicted (the newest
+variant is always kept, even alone over budget, so serving can't wedge).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import QuantizationConfig, quantize_pipeline
+from ..diffusion import DiffusionPipeline
+from ..models import get_model_spec
+from ..profiling import estimate_peak_memory, scheme_bytes_per_element
+from ..zoo import PretrainConfig, load_pretrained
+
+VariantKey = Tuple[str, str]  # (model name, scheme name)
+
+
+def variant_cost_bytes(model: str, scheme: str, batch_size: int = 8) -> float:
+    """Analytic memory cost of keeping one pipeline variant resident.
+
+    Peak inference memory of the variant's U-Net at the pool's serving
+    batch size, with both weights and activations priced at the scheme's
+    bytes per element (:mod:`repro.profiling.memory`, paper Figure 5).
+    """
+    spec = get_model_spec(model)
+    bytes_per_element = scheme_bytes_per_element(scheme)
+    sample_size = spec.sample_shape[-1]
+    estimate = estimate_peak_memory(
+        spec.unet, sample_size, batch_size,
+        weight_bytes_per_element=bytes_per_element,
+        activation_bytes_per_element=bytes_per_element)
+    return estimate.total_bytes
+
+
+class ModelVariantPool:
+    """Lazily-built, LRU-evicted cache of quantized pipeline variants."""
+
+    def __init__(self, memory_budget_bytes: Optional[float] = None,
+                 batch_size: int = 8,
+                 pretrain: Optional[PretrainConfig] = None,
+                 cache_dir=None,
+                 quantization: Optional[Callable[[str], QuantizationConfig]] = None,
+                 builder: Optional[Callable[[str, str], DiffusionPipeline]] = None,
+                 cost_fn: Optional[Callable[[str, str], float]] = None):
+        """
+        ``builder`` overrides how a ``(model, scheme)`` pipeline is built
+        (tests inject stubs; production uses the zoo + quantizer default).
+        ``quantization`` maps a scheme name to the full
+        :class:`QuantizationConfig` used for that variant (default: the
+        scheme for both weights and activations).  ``cost_fn`` overrides the
+        per-variant memory accounting; ``memory_budget_bytes=None`` disables
+        eviction entirely.
+        """
+        self.memory_budget_bytes = memory_budget_bytes
+        self.batch_size = batch_size
+        self.pretrain = pretrain or PretrainConfig()
+        self.cache_dir = cache_dir
+        self._quantization = quantization or self._default_quantization
+        self._builder = builder or self._default_builder
+        self._cost_fn = cost_fn or (
+            lambda model, scheme: variant_cost_bytes(model, scheme,
+                                                     self.batch_size))
+        self._variants: "OrderedDict[VariantKey, DiffusionPipeline]" = OrderedDict()
+        self._costs: Dict[VariantKey, float] = {}
+        self.hits = 0
+        self.builds = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _default_quantization(scheme: str) -> QuantizationConfig:
+        return QuantizationConfig(weight_dtype=scheme, activation_dtype=scheme)
+
+    def _default_builder(self, model: str, scheme: str) -> DiffusionPipeline:
+        checkpoint = load_pretrained(model, self.pretrain,
+                                     cache_dir=self.cache_dir)
+        pipeline = DiffusionPipeline(checkpoint)
+        config = self._quantization(scheme)
+        prompts = None
+        if pipeline.is_text_to_image and config.requires_calibration():
+            from ..data import PromptDataset
+            prompts = PromptDataset(config.calibration.num_samples).prompts
+        quantized, _report = quantize_pipeline(pipeline, config, prompts=prompts)
+        return quantized
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> float:
+        return sum(self._costs.values())
+
+    @property
+    def resident_variants(self) -> Tuple[VariantKey, ...]:
+        """Resident keys in least- to most-recently-used order."""
+        return tuple(self._variants)
+
+    def stats(self) -> Dict:
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "resident": len(self._variants),
+            "resident_bytes": self.resident_bytes,
+            "memory_budget_bytes": self.memory_budget_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    def get(self, model: str, scheme: str) -> DiffusionPipeline:
+        """Return the pipeline for ``(model, scheme)``, building it lazily."""
+        key: VariantKey = (model, scheme)
+        pipeline = self._variants.get(key)
+        if pipeline is not None:
+            self.hits += 1
+            self._variants.move_to_end(key)
+            return pipeline
+        pipeline = self._builder(model, scheme)
+        self.builds += 1
+        self._variants[key] = pipeline
+        self._costs[key] = float(self._cost_fn(model, scheme))
+        self._evict_over_budget(keep=key)
+        return pipeline
+
+    def _evict_over_budget(self, keep: VariantKey) -> None:
+        if self.memory_budget_bytes is None:
+            return
+        while (self.resident_bytes > self.memory_budget_bytes
+               and len(self._variants) > 1):
+            victim = next(iter(self._variants))
+            if victim == keep:
+                # The newest variant alone exceeds the budget; keep serving.
+                break
+            self._variants.pop(victim)
+            self._costs.pop(victim)
+            self.evictions += 1
+
+    def warm(self, variants) -> None:
+        """Pre-build an iterable of ``(model, scheme)`` pairs (cold-start)."""
+        for model, scheme in variants:
+            self.get(model, scheme)

@@ -1,0 +1,116 @@
+"""SLO-aware scheme routing over the analytic roofline cost model.
+
+Routing implements the paper-motivated serving policy: quantization is a
+latency/quality dial, so each request should be served at the **highest
+quality the latency budget allows** — FP32 when there is headroom, FP8/FP4
+as the SLO tightens (conf_iiswc_ChenGM24's characterization is exactly the
+cost model that makes this prediction possible without running anything).
+
+For a request the router predicts per-scheme end-to-end latency as
+
+    steps x roofline(U-Net forward @ scheme bytes-per-element)
+
+using :func:`repro.profiling.estimate_scheme_latency`, then picks the
+highest-quality (most bits) candidate whose prediction fits the SLO.  When
+no candidate fits, it degrades to the cheapest (fastest predicted) scheme —
+an overloaded system serves *something* rather than nothing.  Requests
+without an SLO get the best-quality scheme outright.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.schemes import get_scheme
+from ..models import get_model_spec
+from ..profiling import (
+    DeviceProfile,
+    GPU_V100,
+    LayerCost,
+    estimate_scheme_latency,
+    unet_layer_costs,
+)
+from .request import Request
+
+#: Default candidate ladder, best quality first.
+DEFAULT_SCHEMES = ("fp32", "fp8", "fp4")
+
+
+class SLORouter:
+    """Chooses a quantization scheme per request from latency predictions."""
+
+    def __init__(self, schemes: Sequence[str] = DEFAULT_SCHEMES,
+                 device: DeviceProfile = GPU_V100,
+                 batch_size: int = 1,
+                 context_tokens: int = 16,
+                 costs_fn: Optional[Callable[[str], List[LayerCost]]] = None):
+        """
+        ``costs_fn`` maps a model name to the per-layer cost list the
+        roofline runs over; the default walks the model's own (scaled-down)
+        ``UNetConfig``.  Passing e.g. ``lambda _:
+        unet_layer_costs(paper_scale_stable_diffusion_config(), 64)`` routes
+        with paper-scale costs — useful because the reproduction's stand-in
+        models are so small that launch overhead flattens the scheme spread.
+        """
+        if not schemes:
+            raise ValueError("router needs at least one candidate scheme")
+        # Sort best quality (most bits) first; ties keep caller order.
+        self.schemes: List[str] = sorted(
+            schemes, key=lambda s: -get_scheme(s).bits)
+        self.device = device
+        self.batch_size = batch_size
+        self.context_tokens = context_tokens
+        self._costs_fn = costs_fn or self._spec_costs
+        self._cost_cache: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    def _spec_costs(self, model: str) -> List[LayerCost]:
+        spec = get_model_spec(model)
+        return unet_layer_costs(spec.unet, spec.sample_shape[-1],
+                                batch_size=self.batch_size,
+                                context_tokens=self.context_tokens)
+
+    def predicted_step_latency(self, model: str, scheme: str) -> float:
+        """Roofline latency of one denoising step of ``model`` at ``scheme``."""
+        key = (model, scheme)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        latency = estimate_scheme_latency(self._costs_fn(model), self.device,
+                                          scheme)
+        self._cost_cache[key] = latency
+        return latency
+
+    def predicted_latency(self, model: str, scheme: str, num_steps: int) -> float:
+        """Predicted end-to-end generation latency (all denoising steps)."""
+        return self.predicted_step_latency(model, scheme) * num_steps
+
+    def predictions(self, model: str, num_steps: int) -> Dict[str, float]:
+        """Predicted latency for every candidate scheme (debug/ops view)."""
+        return {scheme: self.predicted_latency(model, scheme, num_steps)
+                for scheme in self.schemes}
+
+    # ------------------------------------------------------------------
+    def route(self, request: Request, num_steps: Optional[int] = None) -> str:
+        """Pick the scheme to serve ``request`` with.
+
+        An explicitly requested scheme always wins.  With an SLO, the
+        best-quality scheme predicted to fit is chosen (so the cheaper,
+        lower-precision schemes are used exactly when the budget demands
+        them); with no feasible scheme, the fastest one; with no SLO, the
+        best-quality scheme.
+        """
+        if request.scheme is not None:
+            return request.scheme
+        if request.latency_slo is None:
+            return self.schemes[0]
+        steps = num_steps
+        if steps is None:
+            steps = (request.num_steps
+                     or get_model_spec(request.model).default_sampling_steps)
+        predictions = {scheme: self.predicted_latency(request.model, scheme, steps)
+                       for scheme in self.schemes}
+        for scheme in self.schemes:  # best quality first
+            if predictions[scheme] <= request.latency_slo:
+                return scheme
+        return min(predictions, key=predictions.get)

@@ -1,0 +1,157 @@
+"""Serving instrumentation: per-request and per-batch records, JSON report.
+
+Every served request contributes a :class:`RequestRecord` (queue wait, batch
+size, measured latency, scheme actually served) and every generation pass a
+:class:`BatchRecord`.  :meth:`ServingStats.report` aggregates them into the
+quantities a serving operator watches — p50/p95 latency and queue wait,
+throughput, mean/histogram batch size, rejection count, cache hit rates —
+and serializes to JSON so load-test runs can be archived and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """Instrumentation for one completed request."""
+
+    request_id: int
+    model: str
+    scheme: str
+    num_steps: int
+    queue_wait: float
+    batch_size: int
+    batch_latency: float
+    total_latency: float
+    latency_slo: Optional[float]
+    slo_met: Optional[bool]
+
+
+@dataclass
+class BatchRecord:
+    """Instrumentation for one generation pass."""
+
+    model: str
+    scheme: str
+    num_steps: int
+    batch_size: int
+    latency: float
+
+
+def _percentile(values: List[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def _summary(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": float(np.mean(values)),
+        "p50": _percentile(values, 50),
+        "p95": _percentile(values, 95),
+        "max": float(max(values)),
+    }
+
+
+class ServingStats:
+    """Accumulates serving telemetry and renders the stats report."""
+
+    def __init__(self):
+        self.requests: List[RequestRecord] = []
+        self.batches: List[BatchRecord] = []
+        self.rejected = 0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Extra counter blocks merged into the report (embedding cache,
+        #: variant pool, ...), keyed by component name.
+        self.components: Dict[str, Dict] = {}
+
+    # ------------------------------------------------------------------
+    def record_request(self, record: RequestRecord) -> None:
+        self.requests.append(record)
+
+    def record_batch(self, record: BatchRecord) -> None:
+        self.batches.append(record)
+
+    def record_rejection(self) -> None:
+        self.rejected += 1
+
+    def mark_start(self, now: float) -> None:
+        if self.started_at is None or now < self.started_at:
+            self.started_at = now
+
+    def mark_finish(self, now: float) -> None:
+        if self.finished_at is None or now > self.finished_at:
+            self.finished_at = now
+
+    def set_component_stats(self, name: str, stats: Dict) -> None:
+        self.components[name] = dict(stats)
+
+    # ------------------------------------------------------------------
+    @property
+    def wall_time(self) -> float:
+        if self.started_at is None or self.finished_at is None:
+            return 0.0
+        return max(self.finished_at - self.started_at, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall-clock serving time."""
+        wall = self.wall_time
+        return len(self.requests) / wall if wall > 0 else 0.0
+
+    def report(self) -> Dict:
+        """Aggregate everything into a JSON-serializable stats report."""
+        batch_sizes = [float(b.batch_size) for b in self.batches]
+        size_histogram: Dict[str, int] = {}
+        for batch in self.batches:
+            key = str(batch.batch_size)
+            size_histogram[key] = size_histogram.get(key, 0) + 1
+        with_slo = [r for r in self.requests if r.slo_met is not None]
+        scheme_counts: Dict[str, int] = {}
+        for record in self.requests:
+            scheme_counts[record.scheme] = scheme_counts.get(record.scheme, 0) + 1
+        return {
+            "requests": {
+                "completed": len(self.requests),
+                "rejected": self.rejected,
+                "by_scheme": scheme_counts,
+            },
+            "wall_time_s": self.wall_time,
+            "throughput_rps": self.throughput,
+            "queue_wait_s": _summary([r.queue_wait for r in self.requests]),
+            "latency_s": _summary([r.total_latency for r in self.requests]),
+            "batch": {
+                "count": len(self.batches),
+                "mean_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+                "size_histogram": size_histogram,
+            },
+            "slo": {
+                "with_target": len(with_slo),
+                "met": sum(1 for r in with_slo if r.slo_met),
+            },
+            "components": self.components,
+        }
+
+    # ------------------------------------------------------------------
+    def to_json(self, path=None, indent: int = 2) -> str:
+        """Render the report as JSON; optionally also write it to ``path``."""
+        text = json.dumps(self.report(), indent=indent, sort_keys=True)
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+        return text
+
+    def request_records(self) -> List[Dict]:
+        """Raw per-request records as dicts (for debugging / notebooks)."""
+        return [asdict(record) for record in self.requests]

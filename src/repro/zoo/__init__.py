@@ -10,6 +10,7 @@ repeated experiments (and the benchmark harness) reuse the same weights.
 from .registry import (
     DEFAULT_CACHE_DIR,
     PretrainConfig,
+    clear_model_memo,
     load_pretrained,
     pretrain,
     zoo_cache_path,
@@ -21,4 +22,5 @@ __all__ = [
     "PretrainConfig",
     "zoo_cache_path",
     "DEFAULT_CACHE_DIR",
+    "clear_model_memo",
 ]

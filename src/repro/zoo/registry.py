@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -74,11 +74,41 @@ def pretrain(name: str, config: Optional[PretrainConfig] = None) -> DiffusionMod
     return model
 
 
+#: In-process checkpoint memo: repeated ``load_pretrained`` calls for the
+#: same (name, config, cache_dir) return the already-loaded model object
+#: instead of re-reading the .npz (or re-training).  The serving subsystem's
+#: variant pool builds several quantized variants of one checkpoint, so this
+#: turns N disk loads into one.
+_LOADED_MODELS: Dict[Tuple, DiffusionModel] = {}
+
+
+def _memo_key(name: str, config: PretrainConfig,
+              cache_dir: Optional[Path]) -> Tuple:
+    resolved = Path(cache_dir or DEFAULT_CACHE_DIR).resolve()
+    return (name, astuple(config), str(resolved))
+
+
+def clear_model_memo() -> None:
+    """Drop every memoized checkpoint (mainly for tests)."""
+    _LOADED_MODELS.clear()
+
+
 def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
                     cache_dir: Optional[Path] = None,
-                    use_cache: bool = True) -> DiffusionModel:
-    """Load (or train and cache) the pre-trained checkpoint for ``name``."""
+                    use_cache: bool = True,
+                    refresh: bool = False) -> DiffusionModel:
+    """Load (or train and cache) the pre-trained checkpoint for ``name``.
+
+    The returned model is memoized in-process per ``(name, config,
+    cache_dir)``: repeated calls hand back the *same* model object.  Callers
+    that mutate a checkpoint (rather than quantizing a clone) should pass
+    ``refresh=True``, which bypasses the memo, re-reads the disk cache (or
+    re-trains) and replaces the memoized entry with the fresh model.
+    """
     config = config or PretrainConfig()
+    key = _memo_key(name, config, cache_dir)
+    if use_cache and not refresh and key in _LOADED_MODELS:
+        return _LOADED_MODELS[key]
     path = zoo_cache_path(name, config, cache_dir)
     spec = get_model_spec(name)
     if use_cache and path.exists():
@@ -86,9 +116,11 @@ def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
         with np.load(path) as archive:
             model.load_state_dict({key: archive[key] for key in archive.files})
         model.eval()
+        _LOADED_MODELS[key] = model
         return model
     model = pretrain(name, config)
     if use_cache:
         path.parent.mkdir(parents=True, exist_ok=True)
         np.savez_compressed(path, **model.state_dict())
+        _LOADED_MODELS[key] = model
     return model

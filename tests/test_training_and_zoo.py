@@ -52,7 +52,11 @@ class TestZoo:
                                 denoiser_steps=6, batch_size=4)
         first = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
         assert zoo_cache_path("ddim-cifar10", config, cache_dir=tmp_path).exists()
-        second = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        # refresh=True bypasses the in-process memo so this genuinely
+        # exercises the savez/load round-trip rather than returning `first`.
+        second = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path,
+                                 refresh=True)
+        assert second is not first
         for (name_a, param_a), (name_b, param_b) in zip(first.named_parameters(),
                                                         second.named_parameters()):
             assert name_a == name_b
