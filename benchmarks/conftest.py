@@ -1,27 +1,41 @@
 """Shared fixtures for the benchmark harness.
 
-Every paper table is expensive to regenerate (it trains/loads a model,
-quantizes it under up to six configurations and scores every configuration
-against two reference sets), so the table results are computed once per
-session and shared between the benchmarks that consume them (e.g. Table IV
-and Figure 10 both read the Stable Diffusion table).
+Every paper table is declared as an
+:class:`~repro.experiments.ExperimentSpec` and executed through the
+:class:`~repro.experiments.Runner` against a session-wide content-addressed
+:class:`~repro.experiments.RunStore`.  The stage graph deduplicates the
+expensive work *within* a table (one pretrain, one calibration-data
+collection and one full-precision generation feed every row) and *across*
+benchmarks (Table IV and Figure 10 both read the Stable Diffusion table;
+re-runs against a warm store are almost entirely cache hits).
 
-Formatted results are also written to ``benchmarks/results/`` so the
-regenerated tables can be inspected after a run.
+Formatted results are written to ``benchmarks/results/`` so the regenerated
+tables can be inspected after a run; each table's run manifest (per-stage
+timings and cache hits) is available as ``table.manifest``.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Sequence
 
 import pytest
 
-from repro.experiments import BenchSettings
-from repro.experiments.harness import PAPER_ROW_ORDER, TableResult, run_quantization_table
+from repro.experiments import (
+    PAPER_ROW_ORDER,
+    BenchSettings,
+    ExperimentSpec,
+    RunStore,
+    TableResult,
+    run_experiment,
+)
 from repro.zoo import PretrainConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Worker threads for the stage-graph runner (override via environment).
+RUNNER_WORKERS = int(os.environ.get("REPRO_RUNNER_WORKERS", "2"))
 
 #: Scaled-down experiment sizes (paper values in parentheses): 16 images
 #: (50k / 10k), 8 denoising steps (200 / 50), 15 bias candidates (111),
@@ -51,24 +65,43 @@ def write_result(name: str, content: str) -> Path:
 
 
 class TableCache:
-    """Session-level cache of quantization-table results keyed by model."""
+    """Session-level cache of quantization-table results keyed by model.
 
-    def __init__(self, settings: BenchSettings):
+    A thin veneer over the run store: the store already dedupes every
+    stage on disk, this just keeps the assembled ``TableResult`` objects
+    (with their generated images) in memory for the session.
+    """
+
+    def __init__(self, settings: BenchSettings, store: RunStore):
         self.settings = settings
+        self.store = store
         self._tables: Dict[str, TableResult] = {}
+
+    def spec(self, model_name: str,
+             labels: Sequence[str] = PAPER_ROW_ORDER) -> ExperimentSpec:
+        return ExperimentSpec.from_labels(model_name, labels, self.settings,
+                                          keep_images=True,
+                                          name=f"bench/{model_name}")
 
     def get(self, model_name: str,
             labels: Sequence[str] = PAPER_ROW_ORDER) -> TableResult:
         if model_name not in self._tables:
-            self._tables[model_name] = run_quantization_table(
-                model_name, config_labels=labels, settings=self.settings,
-                keep_images=True)
+            run = run_experiment(self.spec(model_name, labels),
+                                 store=self.store,
+                                 max_workers=RUNNER_WORKERS)
+            self._tables[model_name] = run.table
         return self._tables[model_name]
 
 
 @pytest.fixture(scope="session")
-def table_cache() -> TableCache:
-    return TableCache(BENCH_SETTINGS)
+def run_store() -> RunStore:
+    """The content-addressed artifact store shared by the bench session."""
+    return RunStore()
+
+
+@pytest.fixture(scope="session")
+def table_cache(run_store) -> TableCache:
+    return TableCache(BENCH_SETTINGS, run_store)
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,18 @@ def test_table2_cifar10(benchmark, table_cache):
     write_result("table2_cifar10", text)
     print("\n" + text)
 
+    # The run manifest proves the stage graph deduplicated the shared work:
+    # all six rows were produced from exactly one pretrain and one
+    # calibration-data stage, and the FP32 generation was computed once —
+    # serving both as the FP32 row and as the "vs FP model" reference.
+    kinds = table.manifest.kind_counts()
+    assert kinds["pretrain"] == 1
+    assert kinds["calibration"] == 1
+    assert kinds["quantize"] == 5       # every row except FP32/FP32
+    assert kinds["generate"] == 6       # 1 shared FP32 + 5 quantized rows
+    assert sum(1 for record in table.manifest.stages
+               if record.stage_id.endswith("/full-precision")) == 1
+
     fp_ref = "full-precision generated"
     fp8 = table.row("FP8/FP8").metrics[fp_ref]
     int8 = table.row("INT8/INT8").metrics[fp_ref]

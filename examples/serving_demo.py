@@ -16,6 +16,7 @@ Run with: ``PYTHONPATH=src python examples/serving_demo.py``
 
 import time
 
+from repro.experiments import RunStore
 from repro.profiling import paper_scale_stable_diffusion_config, unet_layer_costs
 from repro.serving import (
     EngineConfig,
@@ -35,14 +36,26 @@ def main():
     router = SLORouter(costs_fn=lambda model: paper_costs)
 
     # Variant pool over the zoo checkpoint, with a memory budget sized so
-    # roughly two FP32-equivalent variants stay resident at once.
+    # roughly two FP32-equivalent variants stay resident at once.  Backing
+    # the pool with the experiments' RunStore means every quantized variant
+    # is loaded from the content-addressed artifact store when available
+    # (and left there for the next process when not).
     pool = ModelVariantPool(
         memory_budget_bytes=2.2e7,
         pretrain=PretrainConfig(dataset_size=32, autoencoder_steps=10,
                                 denoiser_steps=20),
+        run_store=RunStore(),
     )
     engine = ServingEngine(pool, router=router,
                            config=EngineConfig(max_batch_size=8, max_wait=0.05))
+
+    # Pre-build the variants the workload will route to before traffic
+    # arrives; on a second run these are pure artifact loads.
+    prewarm = pool.prewarm([("stable-diffusion", "fp8"),
+                            ("stable-diffusion", "fp4")])
+    print(f"prewarmed {prewarm['prewarmed']} in {prewarm['duration_s']:.1f}s "
+          f"(store loads: {prewarm['store_loads']}, "
+          f"cold builds: {prewarm['cold_builds']})")
 
     workload = generate_workload(
         WorkloadConfig(num_requests=32, models=("stable-diffusion",),

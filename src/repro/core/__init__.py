@@ -86,6 +86,7 @@ from .calibration import (
     quantizable_layer_paths,
     skip_concat_paths,
 )
+from .hashing import canonical_json, canonicalize, content_hash
 from .qmodules import (
     BlockFPTensorQuantizer,
     FPTensorQuantizer,
@@ -155,6 +156,8 @@ __all__ = [
     "RoundingLearningResult",
     "CalibrationConfig", "CalibrationData", "collect_calibration_data",
     "quantizable_layer_paths", "skip_concat_paths",
+    # content hashing
+    "canonicalize", "canonical_json", "content_hash",
     # quantizer modules
     "TensorQuantizer", "IdentityQuantizer", "FPTensorQuantizer",
     "IntTensorQuantizer", "PerChannelIntTensorQuantizer",

@@ -1,0 +1,49 @@
+"""Atomic file writes shared by the zoo cache and the experiment store.
+
+Parallel experiment runners, benchmark sessions and serving processes all
+share on-disk caches (zoo checkpoints, run-store artifacts).  A reader must
+never observe a partially-written file, so every cache write goes through
+:func:`atomic_write`: the payload is fully written to a temp file in the
+target directory, then renamed over the destination with ``os.replace`` —
+atomic on POSIX.  A writer crashing mid-write leaves only a ``*.tmp`` file
+behind, which no cache lookup matches.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+
+#: Process umask, read once at import (reading it later would require the
+#: non-thread-safe os.umask() round trip under concurrent runner threads).
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+def atomic_write(path: Path, writer: Callable) -> Path:
+    """Write a file atomically: ``writer(binary_file_object)`` + ``os.replace``.
+
+    Concurrent readers observe either the old file, no file, or the
+    complete new one — never a truncated write.  The temp file's 0600
+    ``mkstemp`` mode is widened to the usual umask-honoring mode so shared
+    caches stay readable across users, matching a plain ``open(..., "wb")``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.chmod(tmp_name, 0o666 & ~_UMASK)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

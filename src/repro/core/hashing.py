@@ -1,0 +1,79 @@
+"""Canonical content hashing for configs and experiment-stage inputs.
+
+The declarative experiment API (:mod:`repro.experiments`) keys every stage
+artifact by a content hash of its inputs, so two runs that describe the same
+work share the same artifacts.  For that to hold, hashing must be *stable*:
+independent of dict insertion order, of tuple-vs-list spelling and of which
+process computed it.  :func:`canonicalize` normalizes a value into a
+JSON-safe structure with sorted keys, and :func:`content_hash` digests the
+canonical JSON with SHA-256.
+
+Floats are serialized through ``repr`` (via ``json.dumps``), which
+round-trips IEEE-754 doubles exactly, so equal configs hash equally across
+runs and platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+#: Hex digest length used for artifact keys.  64 bits of a SHA-256 digest
+#: is far beyond collision range for the store sizes involved here while
+#: keeping paths readable.
+DEFAULT_KEY_LENGTH = 16
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize ``value`` into a deterministic, JSON-serializable structure.
+
+    * dicts are key-sorted (keys coerced to ``str``),
+    * tuples/sets become sorted-or-ordered lists,
+    * dataclasses and objects exposing ``to_dict`` are expanded,
+    * numpy scalars become python scalars; numpy arrays are replaced by a
+      ``{"__ndarray__": sha, "shape": ..., "dtype": ...}`` digest stub so
+      bulky payloads never end up inside a key.
+    """
+    if isinstance(value, dict):
+        return {str(key): canonicalize(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(item) for item in value)
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(
+                np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return canonicalize(dataclasses.asdict(value))
+    if hasattr(value, "to_dict") and callable(value.to_dict):
+        return canonicalize(value.to_dict())
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__!r} for hashing")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text for ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(canonicalize(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_hash(value: Any, length: int = DEFAULT_KEY_LENGTH) -> str:
+    """Hex content hash of ``value``'s canonical JSON form."""
+    digest = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+    return digest[:length]

@@ -171,6 +171,15 @@ class QuantizationConfig:
     def from_json(cls, text: str) -> "QuantizationConfig":
         return cls.from_dict(json.loads(text))
 
+    def fingerprint(self) -> str:
+        """Stable content hash of this config (see :mod:`repro.core.hashing`).
+
+        Two configs with equal serialized forms hash identically, so the
+        experiment store can key quantize-stage artifacts by config content.
+        """
+        from .hashing import content_hash
+        return content_hash(self.to_dict())
+
 
 # ----------------------------------------------------------------------
 # presets matching the paper's table rows

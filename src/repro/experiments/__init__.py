@@ -1,29 +1,74 @@
-"""Experiment harness shared by the benchmark suite and the examples.
+"""Declarative experiment-run API shared by benchmarks, examples and serving.
 
-Each paper table/figure benchmark composes the same three steps: load a
-pre-trained zoo model, quantize it under a set of weight/activation configs,
-generate a seed-matched image set per config and score it against one or more
-reference sets.  :mod:`repro.experiments.harness` packages those steps so
-each ``benchmarks/test_*`` module stays a thin, readable declaration of the
-experiment it regenerates.
+Every paper table/figure composes the same expensive stages: load a
+pre-trained zoo model, collect calibration data, quantize under a set of
+configs, generate seed-matched image sets and score them against reference
+sets.  This package makes those runs **declarative, cached, resumable and
+parallel**:
+
+* :class:`ExperimentSpec` — a JSON-round-trippable description of one run
+  (model, rows, references, :class:`BenchSettings`);
+* :func:`compile_experiment` — compiles a spec into a
+  :class:`StageGraph` whose nodes (pretrain, calibration, quantize,
+  generate, evaluate) are keyed by content hashes of their inputs;
+* :class:`RunStore` — content-addressed on-disk artifact store, so
+  identical stages are computed once and shared across rows, runs, entry
+  points and processes;
+* :class:`Runner` — executes independent stages in parallel and emits a
+  :class:`RunManifest` (per-stage timings, cache hits, artifact paths).
+
+The classic one-shot functions (:func:`run_quantization_table`,
+:func:`run_config_experiment`) survive as thin shims over the new API.
 """
 
+from .graph import Stage, StageGraph
 from .harness import (
-    DEFAULT_BENCH_SETTINGS,
-    BenchSettings,
-    ExperimentRow,
-    TableResult,
+    default_run_store,
+    load_benchmark_pipeline,
     run_config_experiment,
+    run_experiment_spec,
     run_quantization_table,
     run_sparsity_experiment,
 )
+from .runner import ExperimentRun, RunManifest, Runner, StageRecord, run_experiment
+from .spec import (
+    DEFAULT_BENCH_SETTINGS,
+    PAPER_ROW_ORDER,
+    BenchSettings,
+    ExperimentRow,
+    ExperimentSpec,
+    RowSpec,
+    TableResult,
+)
+from .stages import ExperimentEnv, ExperimentPlan, compile_experiment
+from .store import RunStore
+from .variants import VariantBuild, build_variant
 
 __all__ = [
     "BenchSettings",
     "DEFAULT_BENCH_SETTINGS",
+    "ExperimentEnv",
+    "ExperimentPlan",
     "ExperimentRow",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "PAPER_ROW_ORDER",
+    "RowSpec",
+    "RunManifest",
+    "RunStore",
+    "Runner",
+    "Stage",
+    "StageGraph",
+    "StageRecord",
     "TableResult",
+    "VariantBuild",
+    "build_variant",
+    "compile_experiment",
+    "default_run_store",
+    "load_benchmark_pipeline",
     "run_config_experiment",
+    "run_experiment",
+    "run_experiment_spec",
     "run_quantization_table",
     "run_sparsity_experiment",
 ]

@@ -1,130 +1,61 @@
-"""Reusable experiment harness for the paper's tables and figures.
+"""Classic experiment harness, now a thin shim over the declarative run API.
 
-The harness mirrors the paper's experimental protocol (Section VI-A/C):
+The original one-shot functions (:func:`run_quantization_table`,
+:func:`run_config_experiment`) kept their signatures, but each call now
+compiles an :class:`~repro.experiments.spec.ExperimentSpec`, executes it
+through the :class:`~repro.experiments.runner.Runner` against the shared
+content-addressed :class:`~repro.experiments.store.RunStore`, and converts
+the result back.  Consequences for callers:
 
-* every configuration being compared denoises *the same* starting noise
-  (fixed seed), so differences between rows are caused by quantization alone;
-* unconditional models are scored against their dataset stand-in reference,
-  text-to-image models against both the external (MS-COCO stand-in) reference
-  and the full-precision model's own generations (the paper's proposed
-  methodology);
-* sample counts, denoising steps and search budgets are scaled down from the
-  paper's (50k samples, 200 steps, 111 bias candidates) to sizes that run in
-  seconds on a CPU; EXPERIMENTS.md records the scaling.
+* calibration data is collected once per model and shared across all rows,
+* the FP32 reference generation is computed once per (model, seed, steps) —
+  even across *separate* calls and processes — instead of per call site,
+* repeating a call with identical settings is almost entirely cache hits,
+* the returned :class:`TableResult` carries the run manifest
+  (``table.manifest``) with per-stage timings and cache hit/miss records.
+
+The experimental protocol itself is unchanged (Section VI-A/C): every
+configuration denoises the same starting noise; unconditional models score
+against the dataset stand-in, text-to-image models against both the
+external reference and the full-precision model's own generations; sizes
+are scaled down per EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from ..core import (
-    CalibrationConfig,
-    PAPER_CONFIGS,
-    QuantizationConfig,
-    QuantizationReport,
-    measure_weight_sparsity,
-    quantize_pipeline,
-)
-from ..core.calibration import CalibrationData, collect_calibration_data
-from ..core.rounding import RoundingLearningConfig
-from ..data import PromptDataset, rooms, shapes10
+from ..core import PAPER_CONFIGS, QuantizationConfig, measure_weight_sparsity, quantize_pipeline
 from ..diffusion import DiffusionPipeline
-from ..metrics import EvaluationResult, evaluate_images
-from ..models import get_model_spec
-from ..zoo import PretrainConfig, load_pretrained
+from ..zoo import load_pretrained
+from .runner import ExperimentRun, run_experiment
+from .spec import (
+    DEFAULT_BENCH_SETTINGS,
+    PAPER_ROW_ORDER,
+    BenchSettings,
+    ExperimentRow,
+    ExperimentSpec,
+    RowSpec,
+    TableResult,
+)
+from .stages import _dataset_reference  # noqa: F401  (re-exported for tests)
+from .store import RunStore
+
+#: Lazily-created store shared by every harness-level call in the process.
+_DEFAULT_STORE: Optional[RunStore] = None
 
 
-@dataclass
-class BenchSettings:
-    """Scaled-down experiment sizes used by the benchmark harness."""
-
-    num_images: int = 24
-    num_steps: int = 10
-    seed: int = 1234
-    batch_size: int = 8
-    num_bias_candidates: int = 21
-    rounding_iterations: int = 40
-    calibration_samples: int = 4
-    calibration_records_per_layer: int = 6
-    pretrain: PretrainConfig = field(default_factory=lambda: PretrainConfig(
-        dataset_size=96, autoencoder_steps=40, denoiser_steps=80))
-
-    def scale_config(self, config: QuantizationConfig) -> QuantizationConfig:
-        """Apply the bench search/learning budgets to a paper config."""
-        scaled = replace(
-            config,
-            num_bias_candidates=self.num_bias_candidates,
-            calibration=CalibrationConfig(
-                num_samples=self.calibration_samples,
-                max_records_per_layer=self.calibration_records_per_layer,
-                batch_size=min(self.batch_size, 4),
-                seed=self.seed + 1),
-            rounding=RoundingLearningConfig(
-                iterations=self.rounding_iterations,
-                samples_per_iteration=4,
-                seed=self.seed + 2),
-        )
-        return scaled
+def default_run_store() -> RunStore:
+    """The process-wide artifact store used by the shim entry points."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        _DEFAULT_STORE = RunStore()
+    return _DEFAULT_STORE
 
 
-DEFAULT_BENCH_SETTINGS = BenchSettings()
-
-#: The row order used by the paper's tables.
-PAPER_ROW_ORDER = ("FP32/FP32", "INT8/INT8", "FP8/FP8", "INT4/INT8",
-                   "FP4/FP8 (no RL)", "FP4/FP8")
-
-
-@dataclass
-class ExperimentRow:
-    """One table row: quantization label plus metrics against each reference."""
-
-    label: str
-    metrics: Dict[str, EvaluationResult]
-    report: Optional[QuantizationReport] = None
-    generated: Optional[np.ndarray] = None
-
-
-@dataclass
-class TableResult:
-    """A full table: model, reference-set names and ordered rows."""
-
-    model_name: str
-    reference_names: List[str]
-    rows: List[ExperimentRow]
-    settings: BenchSettings
-
-    def row(self, label: str) -> ExperimentRow:
-        for row in self.rows:
-            if row.label == label:
-                return row
-        raise KeyError(f"no row labelled '{label}' in table for {self.model_name}")
-
-    def format_table(self) -> str:
-        """Render the table in the paper's layout (one block per reference set)."""
-        lines = [f"model: {self.model_name}  "
-                 f"(N={self.settings.num_images}, steps={self.settings.num_steps})"]
-        with_clip = any(result.clip is not None
-                        for row in self.rows for result in row.metrics.values())
-        for reference in self.reference_names:
-            lines.append(f"-- reference: {reference}")
-            lines.append(EvaluationResult.header(with_clip=with_clip))
-            for row in self.rows:
-                lines.append(row.metrics[reference].as_row(row.label))
-        return "\n".join(lines)
-
-
-def _dataset_reference(model_name: str, num_images: int, image_size: int,
-                       seed: int) -> np.ndarray:
-    """External reference set: the training-data stand-in for the model."""
-    if model_name == "ddim-cifar10":
-        images, _ = shapes10(num_images, size=image_size, seed=seed)
-        return images
-    if model_name == "ldm-bedroom":
-        return rooms(num_images, size=image_size, seed=seed)
-    return PromptDataset(num_images, image_size=image_size, seed=seed).reference_images()
+def _resolve_store(store):
+    """``None`` -> the shared default store; ``False`` -> no store at all."""
+    return default_run_store() if store is None else store
 
 
 def load_benchmark_pipeline(model_name: str,
@@ -138,106 +69,63 @@ def load_benchmark_pipeline(model_name: str,
 def run_quantization_table(model_name: str,
                            config_labels: Sequence[str] = PAPER_ROW_ORDER,
                            settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
-                           keep_images: bool = False) -> TableResult:
+                           keep_images: bool = False,
+                           store: Optional[RunStore] = None,
+                           max_workers: int = 1) -> TableResult:
     """Reproduce one quantitative table (Tables II-V of the paper).
 
+    Shim over the declarative API: equivalent to running
+    ``ExperimentSpec.from_labels(model_name, config_labels, settings)``.
     Returns metric rows for every requested configuration against the
     external dataset reference and against the full-precision model's own
-    generations.
+    generations; ``.manifest`` on the result records the stage graph run.
     """
     unknown = [label for label in config_labels if label not in PAPER_CONFIGS]
     if unknown:
         raise ValueError(
             f"unknown config labels {unknown}; "
             f"known labels: {sorted(PAPER_CONFIGS)}")
-
-    spec = get_model_spec(model_name)
-    pipeline = load_benchmark_pipeline(model_name, settings)
-
-    prompt_dataset = None
-    prompts = None
-    if spec.task == "text-to-image":
-        prompt_dataset = PromptDataset(settings.num_images,
-                                       image_size=spec.image_size,
-                                       seed=settings.seed + 7)
-        prompts = prompt_dataset.prompts
-
-    def generate(pipe: DiffusionPipeline) -> np.ndarray:
-        if prompts is not None:
-            return pipe.generate_from_prompts(prompts, seed=settings.seed,
-                                              batch_size=settings.batch_size)
-        return pipe.generate(settings.num_images, seed=settings.seed,
-                             batch_size=settings.batch_size)
-
-    dataset_reference = _dataset_reference(model_name, settings.num_images,
-                                           spec.image_size, settings.seed + 99)
-    full_precision_images = generate(pipeline)
-    references = {
-        "dataset": dataset_reference,
-        "full-precision generated": full_precision_images,
-    }
-
-    # Collect calibration data once from the full-precision pipeline and share
-    # it across configs so the comparison is apples-to-apples.
-    shared_calibration: Optional[CalibrationData] = None
-
-    rows: List[ExperimentRow] = []
-    for label in config_labels:
-        config = settings.scale_config(PAPER_CONFIGS[label])
-        if label == "FP32/FP32":
-            generated, report = full_precision_images, None
-        else:
-            if shared_calibration is None and config.requires_calibration():
-                shared_calibration = collect_calibration_data(
-                    pipeline, config.calibration, prompts=prompts)
-            quantized, report = quantize_pipeline(pipeline, config, prompts=prompts,
-                                                  calibration=shared_calibration)
-            generated = generate(quantized)
-        metrics = {
-            name: evaluate_images(
-                generated, reference,
-                prompt_specs=prompt_dataset.specs if prompt_dataset else None)
-            for name, reference in references.items()
-        }
-        rows.append(ExperimentRow(label=label, metrics=metrics, report=report,
-                                  generated=generated if keep_images else None))
-    return TableResult(model_name=model_name,
-                       reference_names=list(references),
-                       rows=rows, settings=settings)
+    spec = ExperimentSpec.from_labels(model_name, config_labels, settings,
+                                      keep_images=keep_images,
+                                      name=f"table/{model_name}")
+    run = run_experiment(spec, store=_resolve_store(store),
+                         max_workers=max_workers)
+    return run.table
 
 
 def run_config_experiment(model_name: str, config: QuantizationConfig,
-                          settings: BenchSettings = DEFAULT_BENCH_SETTINGS
-                          ) -> ExperimentRow:
+                          settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
+                          store: Optional[RunStore] = None,
+                          max_workers: int = 1) -> ExperimentRow:
     """Run one arbitrary :class:`QuantizationConfig` (e.g. a policy-driven
     mixed-precision experiment) against the full-precision baseline.
 
     Unlike :func:`run_quantization_table` this takes a ready-made config
     instead of a ``PAPER_CONFIGS`` label, so custom schemes and per-layer
     policies plug straight in.  Metrics are reported against the
-    full-precision model's own generations (the paper's proposed reference).
+    full-precision model's own generations (the paper's proposed
+    reference).  Because the run goes through the shared artifact store,
+    the pretrain / calibration / FP-generation stages are reused from (and
+    by) any table run with matching settings.
     """
-    spec = get_model_spec(model_name)
-    pipeline = load_benchmark_pipeline(model_name, settings)
-    scaled = settings.scale_config(config)
+    spec = ExperimentSpec(
+        model=model_name,
+        rows=[RowSpec(config=config)],
+        settings=settings,
+        references=("full-precision generated",),
+        with_clip=False,
+        name=f"config/{model_name}")
+    run = run_experiment(spec, store=_resolve_store(store),
+                         max_workers=max_workers)
+    return run.table.rows[0]
 
-    prompts = None
-    if spec.task == "text-to-image":
-        prompts = PromptDataset(settings.num_images, image_size=spec.image_size,
-                                seed=settings.seed + 7).prompts
 
-    def generate(pipe: DiffusionPipeline) -> np.ndarray:
-        if prompts is not None:
-            return pipe.generate_from_prompts(prompts, seed=settings.seed,
-                                              batch_size=settings.batch_size)
-        return pipe.generate(settings.num_images, seed=settings.seed,
-                             batch_size=settings.batch_size)
-
-    reference = generate(pipeline)
-    quantized, report = quantize_pipeline(pipeline, scaled, prompts=prompts)
-    generated = generate(quantized)
-    metrics = {"full-precision generated": evaluate_images(generated, reference)}
-    return ExperimentRow(label=scaled.label, metrics=metrics, report=report)
+def run_experiment_spec(spec: ExperimentSpec,
+                        store: Optional[RunStore] = None,
+                        max_workers: int = 1) -> ExperimentRun:
+    """Run a declarative spec against the shared harness store."""
+    return run_experiment(spec, store=_resolve_store(store),
+                          max_workers=max_workers)
 
 
 def run_sparsity_experiment(model_name: str,

@@ -1,0 +1,273 @@
+"""Declarative experiment specs and their result types.
+
+An :class:`ExperimentSpec` is a complete, JSON-round-trippable description
+of one table-style experiment: which model, which quantization rows (paper
+presets or explicit :class:`~repro.core.QuantizationConfig` objects), which
+reference sets to score against, and the scaled-down
+:class:`BenchSettings`.  Specs never execute anything themselves — they
+compile to a content-addressed stage graph
+(:func:`repro.experiments.stages.compile_experiment`) that a
+:class:`~repro.experiments.runner.Runner` executes against a
+:class:`~repro.experiments.store.RunStore`.
+
+Because every field of a spec is serializable and hashed, an identical spec
+always maps to identical stage keys: re-running it is cache hits, and two
+different specs share every stage whose inputs agree (same checkpoint, same
+calibration settings, same FP32 generation seed, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PAPER_CONFIGS, QuantizationConfig, QuantizationReport
+from ..core.calibration import CalibrationConfig
+from ..core.hashing import content_hash
+from ..core.rounding import RoundingLearningConfig
+from ..metrics import EvaluationResult
+from ..zoo import PretrainConfig
+
+#: The row order used by the paper's tables.
+PAPER_ROW_ORDER = ("FP32/FP32", "INT8/INT8", "FP8/FP8", "INT4/INT8",
+                   "FP4/FP8 (no RL)", "FP4/FP8")
+
+#: Reference sets a spec may score against.
+KNOWN_REFERENCES = ("dataset", "full-precision generated")
+
+
+@dataclass
+class BenchSettings:
+    """Scaled-down experiment sizes used by the benchmark harness."""
+
+    num_images: int = 24
+    num_steps: int = 10
+    seed: int = 1234
+    batch_size: int = 8
+    num_bias_candidates: int = 21
+    rounding_iterations: int = 40
+    calibration_samples: int = 4
+    calibration_records_per_layer: int = 6
+    pretrain: PretrainConfig = field(default_factory=lambda: PretrainConfig(
+        dataset_size=96, autoencoder_steps=40, denoiser_steps=80))
+
+    def calibration_config(self) -> CalibrationConfig:
+        """The calibration budget every scaled config shares."""
+        return CalibrationConfig(
+            num_samples=self.calibration_samples,
+            max_records_per_layer=self.calibration_records_per_layer,
+            batch_size=min(self.batch_size, 4),
+            seed=self.seed + 1)
+
+    def scale_config(self, config: QuantizationConfig) -> QuantizationConfig:
+        """Apply the bench search/learning budgets to a paper config."""
+        scaled = replace(
+            config,
+            num_bias_candidates=self.num_bias_candidates,
+            calibration=self.calibration_config(),
+            rounding=RoundingLearningConfig(
+                iterations=self.rounding_iterations,
+                samples_per_iteration=4,
+                seed=self.seed + 2),
+        )
+        return scaled
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BenchSettings":
+        data = dict(data)
+        pretrain = data.pop("pretrain", None)
+        settings = cls(**data)
+        if pretrain is not None:
+            settings.pretrain = PretrainConfig(**pretrain)
+        return settings
+
+
+DEFAULT_BENCH_SETTINGS = BenchSettings()
+
+
+# ----------------------------------------------------------------------
+# row + experiment specs
+# ----------------------------------------------------------------------
+@dataclass
+class RowSpec:
+    """One table row: a paper preset label or an explicit config.
+
+    Exactly one of ``preset`` (a :data:`repro.core.PAPER_CONFIGS` key) and
+    ``config`` must be given.  ``label`` overrides the display label (it
+    defaults to the preset key, or the scaled config's own label).
+    """
+
+    preset: Optional[str] = None
+    config: Optional[QuantizationConfig] = None
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if (self.preset is None) == (self.config is None):
+            raise ValueError("RowSpec needs exactly one of preset / config")
+        if self.preset is not None and self.preset not in PAPER_CONFIGS:
+            raise ValueError(
+                f"unknown config label ['{self.preset}']; "
+                f"known labels: {sorted(PAPER_CONFIGS)}")
+
+    def resolve_config(self) -> QuantizationConfig:
+        if self.preset is not None:
+            return PAPER_CONFIGS[self.preset]
+        return self.config
+
+    def resolved_label(self, settings: BenchSettings) -> str:
+        if self.label is not None:
+            return self.label
+        if self.preset is not None:
+            return self.preset
+        return settings.scale_config(self.config).label
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "preset": self.preset,
+            "config": self.config.to_dict() if self.config is not None else None,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RowSpec":
+        config = data.get("config")
+        return cls(
+            preset=data.get("preset"),
+            config=QuantizationConfig.from_dict(config) if config else None,
+            label=data.get("label"))
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of one table-style experiment run."""
+
+    model: str
+    rows: List[RowSpec]
+    settings: BenchSettings = field(default_factory=BenchSettings)
+    references: Tuple[str, ...] = KNOWN_REFERENCES
+    with_clip: bool = True
+    keep_images: bool = False
+    name: Optional[str] = None
+
+    def __post_init__(self):
+        self.references = tuple(self.references)
+        unknown = [ref for ref in self.references if ref not in KNOWN_REFERENCES]
+        if unknown:
+            raise ValueError(f"unknown references {unknown}; "
+                             f"known: {list(KNOWN_REFERENCES)}")
+        labels = [row.resolved_label(self.settings) for row in self.rows]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate row labels in spec: {labels}")
+
+    @classmethod
+    def from_labels(cls, model: str, labels: Sequence[str],
+                    settings: Optional[BenchSettings] = None,
+                    **kwargs) -> "ExperimentSpec":
+        """Build a spec from ``PAPER_CONFIGS`` labels (the table harness path)."""
+        return cls(model=model,
+                   rows=[RowSpec(preset=label) for label in labels],
+                   settings=settings or BenchSettings(), **kwargs)
+
+    def row_labels(self) -> List[str]:
+        return [row.resolved_label(self.settings) for row in self.rows]
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that affects computed artifacts.
+
+        Presentation-only fields (``keep_images``, ``name``, row ``label``
+        overrides) are excluded, so cosmetic changes still map to the same
+        computation.
+        """
+        def row_content(row: RowSpec) -> Dict:
+            data = row.to_dict()
+            data.pop("label")
+            return data
+
+        return content_hash({
+            "model": self.model,
+            "rows": [row_content(row) for row in self.rows],
+            "settings": self.settings.to_dict(),
+            "references": list(self.references),
+            "with_clip": self.with_clip,
+        })
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "model": self.model,
+            "rows": [row.to_dict() for row in self.rows],
+            "settings": self.settings.to_dict(),
+            "references": list(self.references),
+            "with_clip": self.with_clip,
+            "keep_images": self.keep_images,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentSpec":
+        return cls(
+            model=data["model"],
+            rows=[RowSpec.from_dict(row) for row in data["rows"]],
+            settings=BenchSettings.from_dict(data.get("settings", {})),
+            references=tuple(data.get("references", KNOWN_REFERENCES)),
+            with_clip=data.get("with_clip", True),
+            keep_images=data.get("keep_images", False),
+            name=data.get("name"))
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# result types (shared with the classic harness API)
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentRow:
+    """One table row: quantization label plus metrics against each reference."""
+
+    label: str
+    metrics: Dict[str, EvaluationResult]
+    report: Optional[QuantizationReport] = None
+    generated: Optional[np.ndarray] = None
+
+
+@dataclass
+class TableResult:
+    """A full table: model, reference-set names and ordered rows."""
+
+    model_name: str
+    reference_names: List[str]
+    rows: List[ExperimentRow]
+    settings: BenchSettings
+    manifest: Optional[object] = None  # RunManifest when produced by a Runner
+
+    def row(self, label: str) -> ExperimentRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no row labelled '{label}' in table for {self.model_name}")
+
+    def format_table(self) -> str:
+        """Render the table in the paper's layout (one block per reference set)."""
+        lines = [f"model: {self.model_name}  "
+                 f"(N={self.settings.num_images}, steps={self.settings.num_steps})"]
+        with_clip = any(result.clip is not None
+                        for row in self.rows for result in row.metrics.values())
+        for reference in self.reference_names:
+            lines.append(f"-- reference: {reference}")
+            lines.append(EvaluationResult.header(with_clip=with_clip))
+            for row in self.rows:
+                lines.append(row.metrics[reference].as_row(row.label))
+        return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Content-addressed artifact store backing the experiment run API.
+
+Every stage of an experiment graph (pretrain, calibration data, quantized
+pipeline, generated images, evaluation) produces an artifact keyed by a
+content hash of the stage's kind, inputs and dependency keys
+(:mod:`repro.core.hashing`).  The :class:`RunStore` persists those artifacts
+on disk so that
+
+* re-running an identical :class:`~repro.experiments.spec.ExperimentSpec`
+  is almost entirely cache hits,
+* different entry points (the table harness, single-config experiments,
+  the serving variant pool) share work whenever their stage inputs match.
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>.<ext>        # payload (npz / json / pkl)
+    <root>/objects/<key[:2]>/<key>.meta.json    # stage kind + inputs (debug)
+
+All writes go through a temp file + :func:`os.replace`, so a crashed or
+concurrent writer can never leave a partially-written artifact visible to
+readers; at worst a retry rewrites the same content under the same key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..core.atomic import atomic_write
+
+#: Supported payload encodings and their file suffixes.
+ENCODINGS = {"arrays": ".npz", "json": ".json", "pickle": ".pkl"}
+
+
+def _json_scalar(value):
+    """Coerce numpy scalars inside JSON payloads to plain python numbers."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, np.bool_)):
+        return value.item()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def default_store_root() -> Path:
+    """Resolve the store root: ``$REPRO_RUN_STORE`` or ``<repo>/.run_store``."""
+    env = os.environ.get("REPRO_RUN_STORE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".run_store"
+
+
+class RunStore:
+    """Content-addressed artifact store on disk.
+
+    ``load``/``save`` speak in payloads: a dict of numpy arrays
+    (``encoding="arrays"``), a JSON-safe dict (``"json"``) or an arbitrary
+    picklable object (``"pickle"``).  Stage-level encode/decode (turning a
+    model into a state dict and back, say) lives with the stage definitions
+    in :mod:`repro.experiments.stages`.
+    """
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_store_root()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _bucket(self, key: str) -> Path:
+        return self.root / "objects" / key[:2]
+
+    def path_for(self, key: str, encoding: str) -> Path:
+        suffix = ENCODINGS[encoding]
+        return self._bucket(key) / f"{key}{suffix}"
+
+    def meta_path_for(self, key: str) -> Path:
+        return self._bucket(key) / f"{key}.meta.json"
+
+    def find(self, key: str) -> Optional[Path]:
+        """Path of the stored payload for ``key``, or ``None``."""
+        for suffix in ENCODINGS.values():
+            path = self._bucket(key) / f"{key}{suffix}"
+            if path.exists():
+                return path
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.find(key) is not None
+
+    # ------------------------------------------------------------------
+    # load / save
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[Any]:
+        """Return the payload stored under ``key`` (counting hit/miss)."""
+        path = self.find(key)
+        if path is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if path.suffix == ".npz":
+            with np.load(path) as archive:
+                return {name: archive[name] for name in archive.files}
+        if path.suffix == ".json":
+            return json.loads(path.read_text())
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    def save(self, key: str, payload: Any, encoding: str = "arrays",
+             meta: Optional[Dict] = None) -> Path:
+        """Persist ``payload`` under ``key`` atomically; returns its path."""
+        if encoding not in ENCODINGS:
+            raise ValueError(f"unknown encoding '{encoding}'; "
+                             f"choose from {sorted(ENCODINGS)}")
+        path = self.path_for(key, encoding)
+        if encoding == "arrays":
+            arrays = {name: np.asarray(value)
+                      for name, value in dict(payload).items()}
+            atomic_write(path, lambda fh: np.savez_compressed(fh, **arrays))
+        elif encoding == "json":
+            text = json.dumps(payload, indent=2, sort_keys=True,
+                              default=_json_scalar)
+            atomic_write(path, lambda fh: fh.write(text.encode("utf-8")))
+        else:
+            atomic_write(path, lambda fh: pickle.dump(
+                payload, fh, protocol=pickle.HIGHEST_PROTOCOL))
+        if meta is not None:
+            meta_text = json.dumps(meta, indent=2, sort_keys=True, default=str)
+            atomic_write(self.meta_path_for(key),
+                         lambda fh: fh.write(meta_text.encode("utf-8")))
+        self.writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        return {"root": str(self.root), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes}

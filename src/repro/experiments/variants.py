@@ -1,0 +1,84 @@
+"""Build serving pipeline variants through the content-addressed store.
+
+The serving :class:`~repro.serving.pool.ModelVariantPool` historically
+re-quantized a checkpoint from scratch on every cold ``(model, scheme)``
+request.  :func:`build_variant` routes that build through the same
+pretrain -> calibration -> quantize stage chain the experiment runner uses
+(:mod:`repro.experiments.stages`), so
+
+* a variant quantized once — by a previous server process, by
+  :meth:`~repro.serving.pool.ModelVariantPool.prewarm`, or by any
+  experiment run whose stage inputs match — is **loaded** from the store
+  instead of recomputed, and
+* a cold build leaves its artifacts behind for the next consumer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..core import QuantizationConfig
+from ..data import PromptDataset
+from ..diffusion import DiffusionPipeline
+from ..models import get_model_spec
+from ..zoo import PretrainConfig
+from .graph import StageGraph
+from .runner import RunManifest, Runner
+from .stages import add_calibration_stage, add_pretrain_stage, add_quantize_stage
+from .store import RunStore
+
+
+@dataclass
+class VariantBuild:
+    """A built serving variant plus where it came from."""
+
+    pipeline: DiffusionPipeline
+    report: object                  # QuantizationReport
+    source: str                     # "store" (artifact hit) or "cold"
+    manifest: RunManifest
+    key: str                        # content key of the quantize stage
+
+
+def build_variant(model: str, config: QuantizationConfig,
+                  pretrain: Optional[PretrainConfig] = None,
+                  store: Optional[RunStore] = None,
+                  num_steps: Optional[int] = None,
+                  zoo_cache_dir: Optional[Path] = None) -> VariantBuild:
+    """Build (or load) the quantized pipeline for ``(model, config)``.
+
+    ``num_steps`` defaults to the model's own sampling step count, matching
+    the pool's pipeline construction.  The quantize artifact's identity is
+    the (checkpoint, calibration data, config) chain, so experiment runs
+    with matching inputs share it.
+    """
+    pretrain = pretrain or PretrainConfig()
+    model_spec = get_model_spec(model)
+    num_steps = num_steps or model_spec.default_sampling_steps
+
+    prompts = None
+    if model_spec.task == "text-to-image" and config.requires_calibration():
+        prompts = PromptDataset(config.calibration.num_samples).prompts
+
+    graph = StageGraph()
+    pretrain_id = add_pretrain_stage(graph, model, pretrain,
+                                     zoo_cache_dir=zoo_cache_dir)
+    calibration_id = None
+    if config.requires_calibration():
+        calibration_id = add_calibration_stage(
+            graph, model, pretrain_id, config.calibration,
+            num_steps=num_steps, prompts=prompts)
+    quantize_id = add_quantize_stage(graph, model, pretrain_id,
+                                     calibration_id, config,
+                                     num_steps=num_steps, prompts=prompts)
+
+    runner = Runner(store=store, max_workers=1)
+    values, manifest = runner.execute(graph, name=f"variant/{model}",
+                                      model=model)
+    quantized_model, report = values[quantize_id]
+    record = manifest.stage(quantize_id)
+    pipeline = DiffusionPipeline(quantized_model, num_steps=num_steps)
+    return VariantBuild(pipeline=pipeline, report=report,
+                        source="store" if record.cache_hit else "cold",
+                        manifest=manifest, key=record.key)

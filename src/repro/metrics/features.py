@@ -13,6 +13,7 @@ comparable with the paper's.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List
 
@@ -128,11 +129,19 @@ class FeatureExtractor:
 
 
 _DEFAULT_EXTRACTOR: FeatureExtractor = None
+_DEFAULT_EXTRACTOR_LOCK = threading.Lock()
 
 
 def default_extractor() -> FeatureExtractor:
-    """Process-wide shared extractor (the filters are fixed, so sharing is safe)."""
+    """Process-wide shared extractor (the filters are fixed, so sharing is safe).
+
+    Initialization is locked: parallel experiment runners evaluate metric
+    stages concurrently, and every thread must observe the same extractor
+    (identical filters) for metric values to be schedule-independent.
+    """
     global _DEFAULT_EXTRACTOR
     if _DEFAULT_EXTRACTOR is None:
-        _DEFAULT_EXTRACTOR = FeatureExtractor()
+        with _DEFAULT_EXTRACTOR_LOCK:
+            if _DEFAULT_EXTRACTOR is None:
+                _DEFAULT_EXTRACTOR = FeatureExtractor()
     return _DEFAULT_EXTRACTOR

@@ -7,6 +7,19 @@ a ``(model, scheme)`` pair — loading the zoo checkpoint (memoized
 in-process by :func:`repro.zoo.load_pretrained`) and running post-training
 quantization via :func:`repro.core.quantize_pipeline` — and caches it.
 
+With a ``run_store`` (the experiments' content-addressed
+:class:`~repro.experiments.store.RunStore`), the default builder instead
+goes through :func:`repro.experiments.variants.build_variant`: a variant
+quantized before — by a previous server process or by :meth:`prewarm` —
+is *loaded* from the artifact store instead of re-quantized at request
+time.  Stage-level sharing with experiment runs follows content keys: the
+pretrain checkpoint is shared whenever the pretrain configs match, while
+calibration/quantize artifacts are shared only when the serving
+quantization config coincides with the experiment's (serving uses the
+pool's own ``quantization`` mapping, not a spec's bench-scaled configs).
+Per-variant build time and provenance (``"store"`` vs ``"cold"``) land in
+:meth:`stats` so serving reports show prewarm effectiveness.
+
 Resident variants are charged against a **memory budget** using the
 analytic peak-memory estimator of :mod:`repro.profiling.memory` with
 scheme-dependent bytes per element, so an FP4 variant costs the pool ~8x
@@ -17,8 +30,9 @@ variant is always kept, even alone over budget, so serving can't wedge).
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..core import QuantizationConfig, quantize_pipeline
 from ..diffusion import DiffusionPipeline
@@ -55,7 +69,8 @@ class ModelVariantPool:
                  cache_dir=None,
                  quantization: Optional[Callable[[str], QuantizationConfig]] = None,
                  builder: Optional[Callable[[str, str], DiffusionPipeline]] = None,
-                 cost_fn: Optional[Callable[[str, str], float]] = None):
+                 cost_fn: Optional[Callable[[str, str], float]] = None,
+                 run_store=None):
         """
         ``builder`` overrides how a ``(model, scheme)`` pipeline is built
         (tests inject stubs; production uses the zoo + quantizer default).
@@ -63,12 +78,16 @@ class ModelVariantPool:
         :class:`QuantizationConfig` used for that variant (default: the
         scheme for both weights and activations).  ``cost_fn`` overrides the
         per-variant memory accounting; ``memory_budget_bytes=None`` disables
-        eviction entirely.
+        eviction entirely.  ``run_store`` (a
+        :class:`repro.experiments.RunStore`) makes the default builder load
+        pre-quantized variants from the content-addressed artifact store,
+        falling back to a cold quantize that populates the store.
         """
         self.memory_budget_bytes = memory_budget_bytes
         self.batch_size = batch_size
         self.pretrain = pretrain or PretrainConfig()
         self.cache_dir = cache_dir
+        self.run_store = run_store
         self._quantization = quantization or self._default_quantization
         self._builder = builder or self._default_builder
         self._cost_fn = cost_fn or (
@@ -76,9 +95,15 @@ class ModelVariantPool:
                                                      self.batch_size))
         self._variants: "OrderedDict[VariantKey, DiffusionPipeline]" = OrderedDict()
         self._costs: Dict[VariantKey, float] = {}
+        #: Per-variant build provenance: build time and "store"/"cold"/
+        #: "custom" source, kept across evictions for the serving report.
+        self._variant_meta: Dict[VariantKey, Dict] = {}
+        self._last_build_source: Optional[str] = None
         self.hits = 0
         self.builds = 0
         self.evictions = 0
+        self.store_loads = 0
+        self.cold_builds = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -86,15 +111,23 @@ class ModelVariantPool:
         return QuantizationConfig(weight_dtype=scheme, activation_dtype=scheme)
 
     def _default_builder(self, model: str, scheme: str) -> DiffusionPipeline:
+        config = self._quantization(scheme)
+        if self.run_store is not None:
+            from ..experiments.variants import build_variant
+            built = build_variant(model, config, pretrain=self.pretrain,
+                                  store=self.run_store,
+                                  zoo_cache_dir=self.cache_dir)
+            self._last_build_source = built.source
+            return built.pipeline
         checkpoint = load_pretrained(model, self.pretrain,
                                      cache_dir=self.cache_dir)
         pipeline = DiffusionPipeline(checkpoint)
-        config = self._quantization(scheme)
         prompts = None
         if pipeline.is_text_to_image and config.requires_calibration():
             from ..data import PromptDataset
             prompts = PromptDataset(config.calibration.num_samples).prompts
         quantized, _report = quantize_pipeline(pipeline, config, prompts=prompts)
+        self._last_build_source = "cold"
         return quantized
 
     # ------------------------------------------------------------------
@@ -115,6 +148,13 @@ class ModelVariantPool:
             "resident": len(self._variants),
             "resident_bytes": self.resident_bytes,
             "memory_budget_bytes": self.memory_budget_bytes,
+            "store_loads": self.store_loads,
+            "cold_builds": self.cold_builds,
+            "variants": {
+                f"{model}/{scheme}": dict(meta,
+                                          resident=(model, scheme) in self._variants)
+                for (model, scheme), meta in self._variant_meta.items()
+            },
         }
 
     # ------------------------------------------------------------------
@@ -126,8 +166,17 @@ class ModelVariantPool:
             self.hits += 1
             self._variants.move_to_end(key)
             return pipeline
+        self._last_build_source = None
+        started = time.perf_counter()
         pipeline = self._builder(model, scheme)
+        build_time = time.perf_counter() - started
+        source = self._last_build_source or "custom"
+        if source == "store":
+            self.store_loads += 1
+        elif source == "cold":
+            self.cold_builds += 1
         self.builds += 1
+        self._variant_meta[key] = {"build_time_s": build_time, "source": source}
         self._variants[key] = pipeline
         self._costs[key] = float(self._cost_fn(model, scheme))
         self._evict_over_budget(keep=key)
@@ -150,3 +199,43 @@ class ModelVariantPool:
         """Pre-build an iterable of ``(model, scheme)`` pairs (cold-start)."""
         for model, scheme in variants:
             self.get(model, scheme)
+
+    def prewarm(self, specs: Iterable) -> Dict:
+        """Build every variant a workload will need before traffic arrives.
+
+        ``specs`` may mix ``(model, scheme)`` pairs and
+        :class:`repro.experiments.ExperimentSpec` objects; a spec
+        contributes one variant per distinct row weight scheme of its
+        model (the *schemes* are taken from the spec — each variant is
+        still quantized with the pool's own ``quantization`` config, since
+        that is what :meth:`get` must later serve).  Builds go through the
+        pool's builder, so with a ``run_store`` attached the prewarm is
+        mostly artifact loads after the first server process has run.
+        Returns a summary (per-variant source and build time) for the
+        serving report.
+        """
+        pairs = []
+        for item in specs:
+            if isinstance(item, tuple):
+                pairs.append(item)
+            else:  # an ExperimentSpec
+                for row in item.rows:
+                    pairs.append((item.model, row.resolve_config().weight_dtype))
+        pairs = list(dict.fromkeys(pairs))
+        loads_before = self.store_loads
+        cold_before = self.cold_builds
+        started = time.perf_counter()
+        for model, scheme in pairs:
+            self.get(model, scheme)
+        return {
+            "prewarmed": [f"{model}/{scheme}" for model, scheme in pairs],
+            "duration_s": time.perf_counter() - started,
+            # deltas for *this* prewarm, not pool-lifetime totals
+            "store_loads": self.store_loads - loads_before,
+            "cold_builds": self.cold_builds - cold_before,
+            "variants": {
+                f"{model}/{scheme}": dict(self._variant_meta.get(
+                    (model, scheme), {}))
+                for model, scheme in pairs
+            },
+        }

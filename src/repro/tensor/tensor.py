@@ -15,30 +15,34 @@ Convolution and attention primitives live in :mod:`repro.tensor.functional`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
-_GRAD_ENABLED = True
+#: Grad mode is **thread-local**: the parallel experiment runner executes
+#: independent stages on worker threads, and one stage entering ``no_grad``
+#: (e.g. image decoding) must not switch off gradient tracking under a
+#: concurrent stage that is learning rounding parameters.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient tracking inside its block."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -85,7 +89,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float32)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward = None
         self._parents: tuple = ()
@@ -136,7 +140,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
         """Create a result tensor and wire it into the autograd graph."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

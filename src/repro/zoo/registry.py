@@ -9,6 +9,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..core.atomic import atomic_write
+
 from ..data import PromptDataset, rooms, shapes10
 from ..diffusion.training import train_autoencoder, train_denoiser
 from ..models import DiffusionModel, build_model, get_model_spec
@@ -120,7 +122,16 @@ def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
         return model
     model = pretrain(name, config)
     if use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(path, **model.state_dict())
+        save_checkpoint_atomic(path, model.state_dict())
         _LOADED_MODELS[key] = model
     return model
+
+
+def save_checkpoint_atomic(path: Path, state: Dict[str, np.ndarray]) -> Path:
+    """Write a checkpoint archive atomically (temp file + ``os.replace``).
+
+    Parallel experiment runners and serving processes share the zoo cache;
+    a reader must never see a partially-written ``.npz``
+    (:func:`repro.core.atomic.atomic_write`).
+    """
+    return atomic_write(path, lambda handle: np.savez_compressed(handle, **state))

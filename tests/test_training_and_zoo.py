@@ -1,6 +1,7 @@
 """Tests for the training loops and the pre-trained model zoo."""
 
 import numpy as np
+import pytest
 
 from repro.data import rooms, shapes10
 from repro.diffusion import train_autoencoder, train_denoiser
@@ -75,3 +76,58 @@ class TestZoo:
         deltas = [np.mean(np.abs(trained_state[k] - fresh_state[k]))
                   for k in trained_state if k in fresh_state]
         assert max(deltas) > 1e-4
+
+
+class TestAtomicCheckpointWrites:
+    """Checkpoint writes must be atomic so parallel runners never read a
+    partially-written cache entry (satellite of the experiment-run API)."""
+
+    def test_save_checkpoint_atomic_round_trip(self, tmp_path):
+        from repro.zoo.registry import save_checkpoint_atomic
+        state = {"layer.weight": np.arange(6, dtype=np.float32).reshape(2, 3),
+                 "layer.bias": np.zeros(2, dtype=np.float32)}
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint_atomic(path, state)
+        with np.load(path) as archive:
+            assert set(archive.files) == set(state)
+            np.testing.assert_array_equal(archive["layer.weight"],
+                                          state["layer.weight"])
+        # no temp debris left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.npz"]
+
+    def test_crashed_writer_leaves_no_partial_cache_entry(self, tmp_path,
+                                                          monkeypatch):
+        import repro.zoo.registry as registry
+
+        config = PretrainConfig(dataset_size=8, autoencoder_steps=1,
+                                denoiser_steps=2, batch_size=4)
+        path = zoo_cache_path("ddim-cifar10", config, cache_dir=tmp_path)
+
+        real_savez = np.savez_compressed
+
+        def crash_mid_write(file, **arrays):
+            # write some real bytes first, as a mid-write crash would
+            file.write(b"PK\x03\x04 partial archive bytes")
+            raise RuntimeError("simulated crash during checkpoint write")
+
+        monkeypatch.setattr(registry.np, "savez_compressed", crash_mid_write)
+        registry.clear_model_memo()
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        # the cache path was never created, so a concurrent reader can only
+        # see "no checkpoint" (and will train), never a truncated archive
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+        # recovery: the next writer succeeds and produces a loadable entry
+        monkeypatch.setattr(registry.np, "savez_compressed", real_savez)
+        registry.clear_model_memo()
+        model = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        assert path.exists()
+        registry.clear_model_memo()
+        reloaded = load_pretrained("ddim-cifar10", config, cache_dir=tmp_path)
+        saved_state = model.state_dict()
+        reloaded_state = reloaded.state_dict()
+        assert set(saved_state) == set(reloaded_state)
+        for key in saved_state:
+            np.testing.assert_allclose(saved_state[key], reloaded_state[key])
