@@ -1,15 +1,27 @@
-"""Diffusion processes, samplers, pipelines and training loops."""
+"""Diffusion processes, samplers, generation plans, pipelines and training."""
 
 from .schedule import NoiseSchedule, cosine_beta_schedule, linear_beta_schedule
 from .forward import add_noise, forward_trajectory
-from .samplers import DDIMSampler, DDPMSampler
+from .samplers import (
+    DDIMSampler,
+    DDPMSampler,
+    DPMSolver2Sampler,
+    GuidedDenoiser,
+    SamplerInfo,
+    available_samplers,
+    get_sampler_info,
+    register_sampler,
+)
+from .plan import DEFAULT_PLAN, GenerationPlan
 from .pipeline import DiffusionPipeline
 from .training import TrainingResult, train_autoencoder, train_denoiser
 
 __all__ = [
     "NoiseSchedule", "linear_beta_schedule", "cosine_beta_schedule",
     "add_noise", "forward_trajectory",
-    "DDPMSampler", "DDIMSampler",
+    "DDPMSampler", "DDIMSampler", "DPMSolver2Sampler", "GuidedDenoiser",
+    "SamplerInfo", "register_sampler", "get_sampler_info", "available_samplers",
+    "GenerationPlan", "DEFAULT_PLAN",
     "DiffusionPipeline",
     "TrainingResult", "train_autoencoder", "train_denoiser",
 ]

@@ -1,20 +1,45 @@
-"""Reverse-process samplers: DDPM (ancestral) and DDIM (deterministic).
+"""Reverse-process samplers behind a pluggable registry.
 
 The samplers drive the backward process of Figure 3 in the paper: starting
 from Gaussian noise ``x_T``, the noise-prediction network is applied
 repeatedly and the predicted noise removed at every step.  The iterative
 structure is exactly what makes diffusion models sensitive to quantization:
-quantization error injected at every step accumulates across the trajectory.
+quantization error injected at every step accumulates across the trajectory
+— which also makes the *sampler choice and step budget* first-class
+experimental variables.  Three solvers are registered out of the box:
 
-Both samplers accept an optional ``trace`` callback so that the quantization
-calibration machinery can record intermediate latents and layer inputs at
-selected timesteps (the paper's "initialization dataset" and "calibration
-dataset", Section V).
+* ``ddpm`` — ancestral sampling over the full training grid (Ho et al.),
+* ``ddim`` — deterministic strided sampling (Song et al.),
+* ``dpm2`` — a second-order Heun / DPM-Solver-2-style corrector that spends
+  two model evaluations per step for a more accurate trajectory at small
+  step budgets.
+
+New solvers plug in through :func:`register_sampler`; a
+:class:`~repro.diffusion.plan.GenerationPlan` names a registered sampler and
+the registry's per-sampler metadata (``evals_per_step``,
+``uses_step_budget``) feeds the serving cost model.
+
+Classifier-free guidance is a *model* wrapper, not a sampler:
+:class:`GuidedDenoiser` blends conditional and unconditional noise
+predictions (two U-Net evaluations per step) and composes with every
+registered sampler.
+
+Every sampler shares one calling convention::
+
+    sampler.sample(model, shape, rng, context=None, trace=None,
+                   initial_noise=None)
+
+``initial_noise`` pins ``x_T`` so seed-matched comparisons denoise identical
+starting noise (paper Section VI-C); the optional ``trace`` callback lets the
+quantization calibration machinery record intermediate latents at selected
+timesteps (the paper's "initialization dataset" and "calibration dataset",
+Section V).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +59,44 @@ def _predict_x0(x: np.ndarray, eps: np.ndarray, alpha_bar: float) -> np.ndarray:
     return (x - np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha_bar)
 
 
+def _resolve_initial_noise(shape, rng: np.random.Generator,
+                           initial_noise: Optional[np.ndarray]) -> np.ndarray:
+    if initial_noise is not None:
+        return np.asarray(initial_noise, dtype=np.float32).reshape(shape)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# classifier-free guidance
+# ----------------------------------------------------------------------
+class GuidedDenoiser:
+    """Classifier-free guidance as a drop-in noise-prediction model.
+
+    Wraps any denoiser and blends its conditional and unconditional
+    predictions, ``eps = eps_uncond + s * (eps_cond - eps_uncond)``.  The
+    unconditional branch re-evaluates the model with ``context=None`` (the
+    U-Net's cross-attention blocks skip themselves), so a guided step costs
+    two model evaluations — the 2x factor the serving cost model charges.
+    When there is no context to condition on (or ``s == 1``) the blend
+    degenerates to the plain prediction and the second evaluation is skipped.
+    """
+
+    def __init__(self, model, guidance_scale: float):
+        self.model = model
+        self.guidance_scale = guidance_scale
+
+    def __call__(self, x: Tensor, t: np.ndarray,
+                 context: Optional[Tensor] = None) -> Tensor:
+        conditional = self.model(x, t, context=context)
+        if context is None or self.guidance_scale == 1.0:
+            return conditional
+        unconditional = self.model(x, t, context=None)
+        return unconditional + (conditional - unconditional) * self.guidance_scale
+
+
+# ----------------------------------------------------------------------
+# samplers
+# ----------------------------------------------------------------------
 class DDPMSampler:
     """Ancestral sampler following Ho et al. (paper Eq. 3)."""
 
@@ -42,10 +105,16 @@ class DDPMSampler:
 
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
-               trace: Optional[TraceFn] = None) -> np.ndarray:
-        """Generate samples of the given ``(N, C, H, W)`` shape."""
+               trace: Optional[TraceFn] = None,
+               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+        """Generate samples of the given ``(N, C, H, W)`` shape.
+
+        ``initial_noise`` pins ``x_T`` (the per-step transition noise still
+        comes from ``rng``), so seed-matched comparisons start every DDPM
+        trajectory from the same point just like DDIM ones.
+        """
         schedule = self.schedule
-        x = rng.standard_normal(shape).astype(np.float32)
+        x = _resolve_initial_noise(shape, rng, initial_noise)
         with no_grad():
             for t in reversed(range(schedule.num_timesteps)):
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
@@ -65,6 +134,18 @@ class DDPMSampler:
         return x
 
 
+#: Cached strided-timestep tables keyed by (train_steps, num_steps); every
+#: pipeline call rebuilds its sampler from the generation plan, so the table
+#: construction must not be repaid per call.
+_TIMESTEP_TABLES: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+
+def _validate_num_steps(schedule: NoiseSchedule, num_steps: int) -> None:
+    if num_steps < 1 or num_steps > schedule.num_timesteps:
+        raise ValueError(
+            f"num_steps must be in [1, {schedule.num_timesteps}], got {num_steps}")
+
+
 class DDIMSampler:
     """Deterministic DDIM sampler with a strided timestep schedule.
 
@@ -75,9 +156,7 @@ class DDIMSampler:
     """
 
     def __init__(self, schedule: NoiseSchedule, num_steps: int, eta: float = 0.0):
-        if num_steps < 1 or num_steps > schedule.num_timesteps:
-            raise ValueError(
-                f"num_steps must be in [1, {schedule.num_timesteps}], got {num_steps}")
+        _validate_num_steps(schedule, num_steps)
         self.schedule = schedule
         self.num_steps = num_steps
         self.eta = eta
@@ -85,10 +164,32 @@ class DDIMSampler:
 
     @staticmethod
     def _build_timesteps(train_steps: int, num_steps: int) -> List[int]:
-        stride = train_steps / num_steps
-        steps = [int(round(stride * i)) for i in range(num_steps)]
-        steps = sorted(set(min(s, train_steps - 1) for s in steps))
-        return list(reversed(steps))
+        """Strided timestep table, cached per ``(train_steps, num_steps)``.
+
+        Rounding collisions after deduplication must not silently shrink the
+        table below ``num_steps`` visited timesteps; collisions are refilled
+        with the smallest unused timesteps (deterministic), and an impossible
+        request raises instead of under-delivering steps.
+        """
+        key = (train_steps, num_steps)
+        cached = _TIMESTEP_TABLES.get(key)
+        if cached is None:
+            stride = train_steps / num_steps
+            raw = (min(int(round(stride * i)), train_steps - 1)
+                   for i in range(num_steps))
+            steps = set(raw)
+            if len(steps) < num_steps:
+                for candidate in range(train_steps):
+                    if len(steps) == num_steps:
+                        break
+                    steps.add(candidate)
+            if len(steps) != num_steps:
+                raise ValueError(
+                    f"cannot visit {num_steps} distinct timesteps out of "
+                    f"{train_steps} training steps")
+            cached = tuple(sorted(steps, reverse=True))
+            _TIMESTEP_TABLES[key] = cached
+        return list(cached)
 
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
@@ -99,10 +200,7 @@ class DDIMSampler:
         fixes seeds to compare quantization configurations on identical
         trajectories (Section VI-C)."""
         schedule = self.schedule
-        if initial_noise is not None:
-            x = np.asarray(initial_noise, dtype=np.float32).reshape(shape)
-        else:
-            x = rng.standard_normal(shape).astype(np.float32)
+        x = _resolve_initial_noise(shape, rng, initial_noise)
         timesteps = self.timesteps
         with no_grad():
             for index, t in enumerate(timesteps):
@@ -123,3 +221,138 @@ class DDIMSampler:
                 if trace is not None:
                     trace(t, x)
         return x
+
+
+def _ddim_step(x: np.ndarray, eps: np.ndarray, alpha_bar: float,
+               alpha_bar_prev: float) -> np.ndarray:
+    """One deterministic (eta=0) DDIM update from alpha_bar to alpha_bar_prev."""
+    x0_pred = _predict_x0(x, eps, alpha_bar)
+    direction = np.sqrt(max(1.0 - alpha_bar_prev, 0.0)) * eps
+    return (np.sqrt(alpha_bar_prev) * x0_pred + direction).astype(np.float32)
+
+
+class DPMSolver2Sampler:
+    """Second-order deterministic solver (Heun / DPM-Solver-2 style).
+
+    Each step first takes the deterministic DDIM (Euler) update to the next
+    timestep, re-evaluates the model there, and re-takes the step with the
+    *averaged* noise prediction — the classic predictor-corrector that keeps
+    trajectories accurate at small step budgets, where first-order solvers
+    (and quantization error, per the paper) drift most.  The final step to
+    ``x_0`` has no second grid point and falls back to first order, so the
+    solver spends ``2 * num_steps - 1`` model evaluations.
+    """
+
+    def __init__(self, schedule: NoiseSchedule, num_steps: int):
+        _validate_num_steps(schedule, num_steps)
+        self.schedule = schedule
+        self.num_steps = num_steps
+        self.timesteps = DDIMSampler._build_timesteps(
+            schedule.num_timesteps, num_steps)
+
+    def sample(self, model, shape, rng: np.random.Generator,
+               context: Optional[Tensor] = None,
+               trace: Optional[TraceFn] = None,
+               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+        schedule = self.schedule
+        x = _resolve_initial_noise(shape, rng, initial_noise)
+        timesteps = self.timesteps
+        with no_grad():
+            for index, t in enumerate(timesteps):
+                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                eps = _predict_noise(model, x, t_batch, context)
+                alpha_bar = schedule.alphas_bar[t]
+                prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
+                if prev_t < 0:
+                    x = _ddim_step(x, eps, alpha_bar, 1.0)
+                else:
+                    alpha_bar_prev = schedule.alphas_bar[prev_t]
+                    midpoint = _ddim_step(x, eps, alpha_bar, alpha_bar_prev)
+                    prev_batch = np.full((shape[0],), prev_t, dtype=np.int64)
+                    eps_prev = _predict_noise(model, midpoint, prev_batch, context)
+                    eps_avg = (0.5 * (eps + eps_prev)).astype(np.float32)
+                    x = _ddim_step(x, eps_avg, alpha_bar, alpha_bar_prev)
+                if trace is not None:
+                    trace(t, x)
+        return x
+
+
+# ----------------------------------------------------------------------
+# sampler registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SamplerInfo:
+    """Registry entry: how to build a sampler and what it costs.
+
+    ``factory(schedule, num_steps, eta)`` builds the sampler (entries are
+    free to ignore arguments that do not apply to them).
+    ``evals_per_step`` is the model evaluations one step costs (before
+    guidance doubles it), ``first_order_final_step`` credits back the
+    evaluations a predictor-corrector saves on its last step, and
+    ``uses_step_budget`` is False for samplers that always walk the full
+    training grid (DDPM) — all three feed the serving cost model through
+    :func:`repro.profiling.plan_model_evals`.
+    ``deterministic`` is False for samplers that draw transition noise from
+    the rng every step (DDPM); ``uses_eta`` marks samplers whose trajectory
+    actually responds to the plan's ``eta`` — a plan normalizes away knobs
+    its sampler ignores so fingerprints never split identical work.
+    """
+
+    name: str
+    factory: Callable[[NoiseSchedule, int, float], object]
+    evals_per_step: int = 1
+    uses_step_budget: bool = True
+    deterministic: bool = True
+    uses_eta: bool = False
+    first_order_final_step: bool = False
+
+
+SAMPLER_REGISTRY: Dict[str, SamplerInfo] = {}
+
+
+def register_sampler(name: str,
+                     factory: Callable[[NoiseSchedule, int, float], object],
+                     evals_per_step: int = 1,
+                     uses_step_budget: bool = True,
+                     deterministic: bool = True,
+                     uses_eta: bool = False,
+                     first_order_final_step: bool = False) -> SamplerInfo:
+    """Register a sampler under ``name`` for use in generation plans."""
+    if not name or not isinstance(name, str):
+        raise ValueError(f"sampler name must be a non-empty string, got {name!r}")
+    if evals_per_step < 1:
+        raise ValueError(f"evals_per_step must be >= 1, got {evals_per_step}")
+    info = SamplerInfo(name=name, factory=factory,
+                       evals_per_step=evals_per_step,
+                       uses_step_budget=uses_step_budget,
+                       deterministic=deterministic,
+                       uses_eta=uses_eta,
+                       first_order_final_step=first_order_final_step)
+    SAMPLER_REGISTRY[name] = info
+    return info
+
+
+def get_sampler_info(name: str) -> SamplerInfo:
+    """Look up a registered sampler; unknown names list the known ones."""
+    info = SAMPLER_REGISTRY.get(name)
+    if info is None:
+        raise ValueError(f"unknown sampler '{name}'; "
+                         f"registered samplers: {available_samplers()}")
+    return info
+
+
+def available_samplers() -> Tuple[str, ...]:
+    return tuple(sorted(SAMPLER_REGISTRY))
+
+
+register_sampler(
+    "ddpm", lambda schedule, num_steps, eta: DDPMSampler(schedule),
+    uses_step_budget=False, deterministic=False)
+register_sampler(
+    "ddim", lambda schedule, num_steps, eta: DDIMSampler(schedule, num_steps,
+                                                         eta=eta),
+    uses_eta=True)
+register_sampler(
+    "dpm2", lambda schedule, num_steps, eta: DPMSolver2Sampler(schedule,
+                                                               num_steps),
+    evals_per_step=2, first_order_final_step=True)

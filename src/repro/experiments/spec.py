@@ -28,6 +28,7 @@ from ..core import PAPER_CONFIGS, QuantizationConfig, QuantizationReport
 from ..core.calibration import CalibrationConfig
 from ..core.hashing import content_hash
 from ..core.rounding import RoundingLearningConfig
+from ..diffusion import GenerationPlan
 from ..metrics import EvaluationResult
 from ..zoo import PretrainConfig
 
@@ -101,12 +102,20 @@ class RowSpec:
 
     Exactly one of ``preset`` (a :data:`repro.core.PAPER_CONFIGS` key) and
     ``config`` must be given.  ``label`` overrides the display label (it
-    defaults to the preset key, or the scaled config's own label).
+    defaults to the preset key, or the scaled config's own label, suffixed
+    with the plan's description when a non-default ``plan`` is set).
+
+    ``plan`` selects the generation trajectory for this row's image set —
+    sampler, step budget, guidance scale (see
+    :class:`~repro.diffusion.GenerationPlan`).  ``None`` inherits the
+    spec-level plan (or the default DDIM trajectory), so sampler x steps x
+    guidance sweeps are just rows that share a config and differ in plan.
     """
 
     preset: Optional[str] = None
     config: Optional[QuantizationConfig] = None
     label: Optional[str] = None
+    plan: Optional[GenerationPlan] = None
 
     def __post_init__(self):
         if (self.preset is None) == (self.config is None):
@@ -115,34 +124,52 @@ class RowSpec:
             raise ValueError(
                 f"unknown config label ['{self.preset}']; "
                 f"known labels: {sorted(PAPER_CONFIGS)}")
+        if isinstance(self.plan, dict):
+            self.plan = GenerationPlan.from_dict(self.plan)
 
     def resolve_config(self) -> QuantizationConfig:
         if self.preset is not None:
             return PAPER_CONFIGS[self.preset]
         return self.config
 
-    def resolved_label(self, settings: BenchSettings) -> str:
+    def resolved_label(self, settings: BenchSettings,
+                       include_plan: bool = True) -> str:
+        """The row's display label.
+
+        ``include_plan=False`` yields the label minus the plan suffix — the
+        identity of the row's *quantization* work, which the stage compiler
+        uses so plan-sweep rows over one config share a quantize stage.
+        """
         if self.label is not None:
             return self.label
-        if self.preset is not None:
-            return self.preset
-        return settings.scale_config(self.config).label
+        base = (self.preset if self.preset is not None
+                else settings.scale_config(self.config).label)
+        if include_plan and self.plan is not None:
+            return f"{base} [{self.plan.describe()}]"
+        return base
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "preset": self.preset,
             "config": self.config.to_dict() if self.config is not None else None,
             "label": self.label,
         }
+        # Only serialized when set, so pre-plan specs keep their exact JSON
+        # shape and content fingerprints.
+        if self.plan is not None:
+            data["plan"] = self.plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "RowSpec":
         config = data.get("config")
+        plan = data.get("plan")
         return cls(
             preset=data.get("preset"),
             config=QuantizationConfig.from_dict(config) if config else None,
-            label=data.get("label"))
+            label=data.get("label"),
+            plan=GenerationPlan.from_dict(plan) if plan else None)
 
 
 @dataclass
@@ -156,8 +183,14 @@ class ExperimentSpec:
     with_clip: bool = True
     keep_images: bool = False
     name: Optional[str] = None
+    #: Default generation plan for every row (and the full-precision
+    #: reference generation); individual rows override it via their own
+    #: ``plan``.  ``None`` keeps the historical DDIM trajectory.
+    plan: Optional[GenerationPlan] = None
 
     def __post_init__(self):
+        if isinstance(self.plan, dict):
+            self.plan = GenerationPlan.from_dict(self.plan)
         self.references = tuple(self.references)
         unknown = [ref for ref in self.references if ref not in KNOWN_REFERENCES]
         if unknown:
@@ -179,6 +212,10 @@ class ExperimentSpec:
     def row_labels(self) -> List[str]:
         return [row.resolved_label(self.settings) for row in self.rows]
 
+    def row_plan(self, row: RowSpec) -> Optional[GenerationPlan]:
+        """The plan a row generates under: its own, else the spec default."""
+        return row.plan if row.plan is not None else self.plan
+
     def fingerprint(self) -> str:
         """Content hash of everything that affects computed artifacts.
 
@@ -191,17 +228,21 @@ class ExperimentSpec:
             data.pop("label")
             return data
 
-        return content_hash({
+        content = {
             "model": self.model,
             "rows": [row_content(row) for row in self.rows],
             "settings": self.settings.to_dict(),
             "references": list(self.references),
             "with_clip": self.with_clip,
-        })
+        }
+        # Added only when set so pre-plan specs keep their fingerprints.
+        if self.plan is not None:
+            content["plan"] = self.plan.to_dict()
+        return content_hash(content)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "model": self.model,
             "rows": [row.to_dict() for row in self.rows],
             "settings": self.settings.to_dict(),
@@ -210,9 +251,13 @@ class ExperimentSpec:
             "keep_images": self.keep_images,
             "name": self.name,
         }
+        if self.plan is not None:
+            data["plan"] = self.plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "ExperimentSpec":
+        plan = data.get("plan")
         return cls(
             model=data["model"],
             rows=[RowSpec.from_dict(row) for row in data["rows"]],
@@ -220,7 +265,8 @@ class ExperimentSpec:
             references=tuple(data.get("references", KNOWN_REFERENCES)),
             with_clip=data.get("with_clip", True),
             keep_images=data.get("keep_images", False),
-            name=data.get("name"))
+            name=data.get("name"),
+            plan=GenerationPlan.from_dict(plan) if plan else None)
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)

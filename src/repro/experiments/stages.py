@@ -32,7 +32,7 @@ from ..core import QuantizationConfig, QuantizationReport, clone_model, quantize
 from ..core.calibration import CalibrationConfig, CalibrationData, collect_calibration_data
 from ..core.hashing import content_hash
 from ..data import PromptDataset, rooms, shapes10
-from ..diffusion import DiffusionPipeline
+from ..diffusion import DiffusionPipeline, GenerationPlan
 from ..metrics import EvaluationResult, evaluate_images
 from ..models import build_model, get_model_spec
 from ..zoo import PretrainConfig, load_pretrained
@@ -178,23 +178,37 @@ def add_quantize_stage(graph: StageGraph, model: str, pretrain_id: str,
 def add_generate_stage(graph: StageGraph, stage_id: str, source_id: str,
                        source_is_quantized: bool, num_images: int,
                        num_steps: int, seed: int, batch_size: int,
-                       prompts: Optional[Sequence[str]] = None) -> str:
-    """Image-set generation stage (seed-matched, chunked like the harness)."""
+                       prompts: Optional[Sequence[str]] = None,
+                       plan: Optional[GenerationPlan] = None) -> str:
+    """Image-set generation stage (seed-matched, chunked like the harness).
+
+    ``plan`` selects the generation trajectory.  Keys stay backwards
+    compatible: a plan's step budget folds into the existing ``num_steps``
+    input, and the trajectory fingerprint joins the key only when it differs
+    from the default DDIM trajectory — so default-plan stages keep their
+    pre-plan artifact keys while any sampler/guidance change re-keys exactly
+    the generate (and downstream evaluate) stages.
+    """
+    if plan is not None and plan.num_steps is not None:
+        num_steps = plan.num_steps
 
     def compute(deps):
         source = deps[source_id]
         model = source[0] if source_is_quantized else source
-        pipeline = DiffusionPipeline(model, num_steps=num_steps)
+        pipeline = DiffusionPipeline(model, num_steps=num_steps, plan=plan)
         if prompts is not None:
             return pipeline.generate_from_prompts(list(prompts), seed=seed,
                                                   batch_size=batch_size)
         return pipeline.generate(num_images, seed=seed, batch_size=batch_size)
 
+    inputs = {"num_images": num_images, "num_steps": num_steps,
+              "seed": seed, "batch_size": batch_size,
+              "prompts": _prompts_key(prompts)}
+    if plan is not None and not plan.is_default():
+        inputs["plan"] = plan.trajectory_fingerprint()
     graph.add(Stage(
         stage_id=stage_id, kind="generate",
-        inputs={"num_images": num_images, "num_steps": num_steps,
-                "seed": seed, "batch_size": batch_size,
-                "prompts": _prompts_key(prompts)},
+        inputs=inputs,
         deps=(source_id,), encoding="arrays", compute=compute,
         encode=lambda images: {"images": images},
         decode=lambda payload: payload["images"]))
@@ -247,6 +261,9 @@ def compile_experiment(spec: ExperimentSpec,
     settings = spec.settings
     model_spec = get_model_spec(spec.model)
     text_to_image = model_spec.task == "text-to-image"
+    for plan in [spec.plan] + [spec.row_plan(row) for row in spec.rows]:
+        if plan is not None:
+            plan.validate_for_model(model_spec.task, spec.model)
 
     prompt_dataset = None
     prompts = None
@@ -261,11 +278,14 @@ def compile_experiment(spec: ExperimentSpec,
                                      zoo_cache_dir=env.zoo_cache_dir)
 
     def full_precision_generate() -> str:
+        # Generated under the spec-level plan, so "vs full-precision"
+        # comparisons hold the trajectory fixed between the quantized rows
+        # and their FP reference.
         return add_generate_stage(
             graph, f"generate/{spec.model}/full-precision", pretrain_id,
             source_is_quantized=False, num_images=settings.num_images,
             num_steps=settings.num_steps, seed=settings.seed,
-            batch_size=settings.batch_size, prompts=prompts)
+            batch_size=settings.batch_size, prompts=prompts, plan=spec.plan)
 
     reference_ids: Dict[str, str] = {}
     for reference in spec.references:
@@ -289,12 +309,16 @@ def compile_experiment(spec: ExperimentSpec,
         else:
             reference_ids[reference] = full_precision_generate()
 
+    # The plan-less label identifies the row's quantization work: rows that
+    # sweep plans over one config share a single quantize stage.
     scaled_rows = [(row.resolved_label(settings),
-                    settings.scale_config(row.resolve_config()))
+                    row.resolved_label(settings, include_plan=False),
+                    settings.scale_config(row.resolve_config()),
+                    spec.row_plan(row))
                    for row in spec.rows]
     needs_calibration = any(not config.is_full_precision()
                             and config.requires_calibration()
-                            for _, config in scaled_rows)
+                            for _, _, config, _ in scaled_rows)
     calibration_id = None
     if needs_calibration:
         calibration_id = add_calibration_stage(
@@ -305,23 +329,35 @@ def compile_experiment(spec: ExperimentSpec,
     prompt_specs = prompt_dataset.specs if use_clip else None
 
     row_plans: List[RowPlan] = []
-    for label, config in scaled_rows:
+    for label, row_base_label, config, generation_plan in scaled_rows:
         slug = _slug(label)
         if config.is_full_precision():
             quantize_id = None
-            generate_id = full_precision_generate()
+            if generation_plan == spec.plan:
+                generate_id = full_precision_generate()
+            else:
+                # A row-level plan that differs from the spec default gets
+                # its own FP generation (the shared reference stays on the
+                # spec plan).
+                generate_id = add_generate_stage(
+                    graph, f"generate/{spec.model}/{slug}", pretrain_id,
+                    source_is_quantized=False, num_images=settings.num_images,
+                    num_steps=settings.num_steps, seed=settings.seed,
+                    batch_size=settings.batch_size, prompts=prompts,
+                    plan=generation_plan)
         else:
             row_calibration = (calibration_id
                                if config.requires_calibration() else None)
             quantize_id = add_quantize_stage(
                 graph, spec.model, pretrain_id, row_calibration, config,
                 num_steps=settings.num_steps, prompts=prompts,
-                stage_id=f"quantize/{spec.model}/{slug}")
+                stage_id=f"quantize/{spec.model}/{_slug(row_base_label)}")
             generate_id = add_generate_stage(
                 graph, f"generate/{spec.model}/{slug}", quantize_id,
                 source_is_quantized=True, num_images=settings.num_images,
                 num_steps=settings.num_steps, seed=settings.seed,
-                batch_size=settings.batch_size, prompts=prompts)
+                batch_size=settings.batch_size, prompts=prompts,
+                plan=generation_plan)
 
         evaluate_ids: Dict[str, str] = {}
         for reference in spec.references:

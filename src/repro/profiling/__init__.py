@@ -6,6 +6,7 @@ from .cost_model import (
     BYTES_FP8,
     BYTES_FP4,
     LayerCost,
+    plan_model_evals,
     scheme_bytes_per_element,
     flops_by_kind,
     paper_scale_stable_diffusion_config,
@@ -19,6 +20,7 @@ from .latency import (
     GPU_V100,
     DeviceProfile,
     estimate_latency,
+    estimate_plan_latency,
     estimate_scheme_latency,
     grouped_breakdown,
     latency_breakdown,
@@ -30,9 +32,9 @@ __all__ = [
     "LayerCost", "unet_layer_costs", "total_flops", "total_weight_elements",
     "flops_by_kind", "paper_scale_stable_diffusion_config",
     "BYTES_FP32", "BYTES_FP16", "BYTES_FP8", "BYTES_FP4",
-    "scheme_bytes_per_element",
+    "scheme_bytes_per_element", "plan_model_evals",
     "DeviceProfile", "GPU_V100", "CPU_XEON", "DEVICE_PROFILES",
-    "estimate_latency", "estimate_scheme_latency",
+    "estimate_latency", "estimate_scheme_latency", "estimate_plan_latency",
     "latency_breakdown", "normalized_breakdown",
     "grouped_breakdown",
     "MemoryEstimate", "estimate_peak_memory", "memory_vs_batch_size",

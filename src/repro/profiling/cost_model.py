@@ -230,6 +230,34 @@ def unet_layer_costs(config: UNetConfig, sample_size: int, batch_size: int = 1,
     return acc.costs
 
 
+def plan_model_evals(num_steps: int, guidance_scale: float = 1.0,
+                     solver_evals_per_step: int = 1,
+                     first_order_final_step: bool = False) -> int:
+    """Model (U-Net) evaluations one generation plan performs end-to-end.
+
+    The cost of a trajectory is not just its step count: a higher-order
+    solver evaluates the model ``solver_evals_per_step`` times per step,
+    ``first_order_final_step`` credits back the evaluations a
+    predictor-corrector saves on its last step (DPM-Solver-2 has no second
+    grid point to correct against — this is per-sampler metadata, see
+    :class:`repro.diffusion.samplers.SamplerInfo`), and classifier-free
+    guidance (``guidance_scale != 1``) doubles *every* evaluation with the
+    unconditional pass.  This is the multiplier the SLO router applies on
+    top of the per-forward roofline latency.
+    """
+    if num_steps < 1:
+        raise ValueError(f"num_steps must be >= 1, got {num_steps}")
+    if solver_evals_per_step < 1:
+        raise ValueError(
+            f"solver_evals_per_step must be >= 1, got {solver_evals_per_step}")
+    evals = num_steps * solver_evals_per_step
+    if first_order_final_step:
+        evals -= solver_evals_per_step - 1
+    if guidance_scale != 1.0:
+        evals *= 2
+    return evals
+
+
 def total_flops(costs: List[LayerCost]) -> float:
     return float(sum(cost.flops for cost in costs))
 

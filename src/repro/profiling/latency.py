@@ -15,7 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from .cost_model import BYTES_FP32, LayerCost, scheme_bytes_per_element
+from .cost_model import (
+    BYTES_FP32,
+    LayerCost,
+    plan_model_evals,
+    scheme_bytes_per_element,
+)
 
 
 @dataclass(frozen=True)
@@ -84,6 +89,27 @@ def estimate_scheme_latency(costs: Iterable[LayerCost], device: DeviceProfile,
                       else scheme_bytes_per_element(activation_scheme))
     return estimate_latency(costs, device, bytes_per_element=activation_bpe,
                             weight_bytes_per_element=weight_bpe)
+
+
+def estimate_plan_latency(costs: Iterable[LayerCost], device: DeviceProfile,
+                          weight_scheme, num_steps: int,
+                          guidance_scale: float = 1.0,
+                          solver_evals_per_step: int = 1,
+                          first_order_final_step: bool = False,
+                          activation_scheme=None) -> float:
+    """End-to-end generation latency of a (scheme, generation-plan) pair.
+
+    One forward pass is priced by :func:`estimate_scheme_latency`; the plan
+    multiplies it by :func:`~repro.profiling.cost_model.plan_model_evals`
+    (steps x solver order, doubled under classifier-free guidance).  This is
+    the two-dimensional quantity the serving router minimizes over: schemes
+    change the per-forward cost, plans change how many forwards are paid.
+    """
+    per_forward = estimate_scheme_latency(costs, device, weight_scheme,
+                                          activation_scheme)
+    return per_forward * plan_model_evals(num_steps, guidance_scale,
+                                          solver_evals_per_step,
+                                          first_order_final_step)
 
 
 def latency_breakdown(costs: Iterable[LayerCost], device: DeviceProfile,

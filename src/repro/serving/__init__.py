@@ -10,13 +10,14 @@ Components (one module each):
 * :mod:`~repro.serving.request` — ``Request``/``Response`` model and the
   bounded admission queue;
 * :mod:`~repro.serving.batcher` — dynamic batching of compatible requests
-  (same model, scheme, step count) under size/wait bounds;
+  (same model, scheme, routed generation plan) under size/wait bounds;
 * :mod:`~repro.serving.pool` — lazily-built, LRU-evicted pool of quantized
   pipeline variants under an analytic memory budget;
 * :mod:`~repro.serving.embedding_cache` — memoized text-encoder outputs
   per (model, prompt);
-* :mod:`~repro.serving.router` — SLO-aware scheme selection from the
-  roofline cost model;
+* :mod:`~repro.serving.router` — SLO-aware (scheme, generation-plan)
+  selection from the roofline cost model: precision degrades before the
+  step budget is cut;
 * :mod:`~repro.serving.stats` — queue-wait/batch/latency/cache telemetry
   and the JSON stats report;
 * :mod:`~repro.serving.engine` — the orchestrating engine (lifecycle:
@@ -37,7 +38,12 @@ from .loadgen import (
 )
 from .pool import ModelVariantPool, variant_cost_bytes
 from .request import QueueFullError, Request, RequestQueue, Response
-from .router import DEFAULT_SCHEMES, SLORouter
+from .router import (
+    DEFAULT_SCHEMES,
+    DEFAULT_STEP_FRACTIONS,
+    RoutingDecision,
+    SLORouter,
+)
 from .stats import BatchRecord, RequestRecord, ServingStats
 
 __all__ = [
@@ -45,7 +51,8 @@ __all__ = [
     "BatchKey", "Batch", "DynamicBatcher",
     "ModelVariantPool", "variant_cost_bytes",
     "EmbeddingCache",
-    "SLORouter", "DEFAULT_SCHEMES",
+    "SLORouter", "RoutingDecision", "DEFAULT_SCHEMES",
+    "DEFAULT_STEP_FRACTIONS",
     "ServingStats", "RequestRecord", "BatchRecord",
     "ServingEngine", "EngineConfig",
     "WorkloadConfig", "generate_workload", "run_load_benchmark",

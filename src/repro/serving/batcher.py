@@ -2,9 +2,11 @@
 
 Requests are only batchable when they can share a single U-Net forward per
 denoising step, which means the same model, the same quantization scheme
-(they must run on the same pooled pipeline variant) and the same step count
-(the sampler visits one timestep grid per batch).  That triple is the
-:class:`BatchKey`.
+(they must run on the same pooled pipeline variant) and the same *routed
+generation plan* — one sampler walking one timestep grid at one guidance
+scale per batch.  That triple is the :class:`BatchKey`; plans are frozen
+and content-comparable, so two requests routed to ``dpm2 @ 4 steps`` land
+in the same group whatever spelling they arrived with.
 
 The batcher accumulates per-key groups and closes a batch when either
 
@@ -24,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, NamedTuple, Optional
 
+from ..diffusion.plan import GenerationPlan
 from .request import Request
 
 
@@ -32,7 +35,12 @@ class BatchKey(NamedTuple):
 
     model: str
     scheme: str
-    num_steps: int
+    plan: GenerationPlan
+
+    @property
+    def num_steps(self) -> Optional[int]:
+        """The routed plan's step budget (legacy accessor)."""
+        return self.plan.num_steps
 
 
 @dataclass

@@ -8,17 +8,19 @@ Request lifecycle
    :class:`~repro.serving.request.RequestQueue`; at capacity the request is
    rejected (counted in the stats report) instead of buffered unboundedly.
 2. **Routing**: the :class:`~repro.serving.router.SLORouter` predicts
-   per-scheme latency from the roofline cost model and picks the
-   highest-quality scheme that fits the request's SLO.
+   per-(scheme, plan) latency from the roofline cost model and picks the
+   highest-quality scheme *and step budget* that fit the request's SLO —
+   precision degrades first, the trajectory is truncated only when no
+   scheme can meet the budget.
 3. **Batching**: the :class:`~repro.serving.batcher.DynamicBatcher` groups
-   requests that share ``(model, scheme, num_steps)`` until a batch fills
-   or the oldest member has waited ``max_wait`` seconds.
+   requests that share ``(model, scheme, routed plan)`` until a batch
+   fills or the oldest member has waited ``max_wait`` seconds.
 4. **Generation**: the batch's pipeline variant comes from the
    :class:`~repro.serving.pool.ModelVariantPool` (built lazily, LRU-evicted
    under a memory budget); text prompts resolve through the
    :class:`~repro.serving.embedding_cache.EmbeddingCache`; the whole batch
    runs in one :meth:`~repro.diffusion.DiffusionPipeline.generate_batch`
-   sampler pass with per-request seeds.
+   sampler pass with per-request seeds, under the batch key's plan.
 5. **Instrumentation**: every request/batch lands in
    :class:`~repro.serving.stats.ServingStats` (queue wait, batch size,
    latency percentiles, throughput, cache hit rates) for the JSON report.
@@ -85,6 +87,8 @@ class ServingEngine:
         if spec.task == "text-to-image" and request.prompt is None:
             raise ValueError(
                 f"model '{request.model}' is text-to-image; request needs a prompt")
+        if request.plan is not None:
+            request.plan.validate_for_model(spec.task, request.model)
         if request.request_id is None:
             request.request_id = self._next_id
             self._next_id += 1
@@ -100,26 +104,16 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
-    def _resolve_steps(self, request: Request) -> int:
-        if request.num_steps is not None:
-            return request.num_steps
-        return get_model_spec(request.model).default_sampling_steps
-
     def _batch_key(self, request: Request) -> BatchKey:
-        steps = self._resolve_steps(request)
-        scheme = self.router.route(request, num_steps=steps)
-        return BatchKey(model=request.model, scheme=scheme, num_steps=steps)
+        decision = self.router.decide(request)
+        return BatchKey(model=request.model, scheme=decision.scheme,
+                        plan=decision.plan)
 
     def _pipeline_for(self, key: BatchKey) -> DiffusionPipeline:
-        pipeline = self.pool.get(key.model, key.scheme)
-        if pipeline.num_steps == key.num_steps:
-            return pipeline
-        # Re-wrap the pooled variant's (quantized) model with the requested
-        # step count.  The view is built per batch rather than cached: it is
-        # cheap (a schedule + sampler), and holding it would pin variants
-        # the pool has evicted, defeating the memory budget.
-        return DiffusionPipeline(pipeline.model, spec=pipeline.spec,
-                                 num_steps=key.num_steps)
+        # The batch key's plan (sampler, steps, guidance) is applied per
+        # generate_batch call, so one pooled variant serves every routed
+        # plan without rebuilding pipelines.
+        return self.pool.get(key.model, key.scheme)
 
     def _process_batch(self, batch: Batch) -> List[Response]:
         started = self.clock()
@@ -132,14 +126,21 @@ class ServingEngine:
                 batch.key.model, pipeline, prompts)
             context = Tensor(contexts)
         seeds = [request.seed for request in batch.requests]
-        images = pipeline.generate_batch(seeds, context=context)
+        images = pipeline.generate_batch(seeds, context=context,
+                                         plan=batch.key.plan)
         finished = self.clock()
         self.stats.mark_finish(finished)
         batch_latency = finished - started
+        plan = batch.key.plan
+        # Concrete steps actually walked: full-grid samplers (DDPM) carry no
+        # step budget in the plan and resolve to the training grid.
+        num_steps = plan.resolve_steps(pipeline.num_steps,
+                                       pipeline.schedule.num_timesteps)
         self.stats.record_batch(BatchRecord(
             model=batch.key.model, scheme=batch.key.scheme,
-            num_steps=batch.key.num_steps, batch_size=len(batch),
-            latency=batch_latency))
+            num_steps=num_steps, batch_size=len(batch),
+            latency=batch_latency, sampler=plan.sampler,
+            guidance_scale=plan.guidance_scale, eta=plan.eta))
 
         responses: List[Response] = []
         for position, request in enumerate(batch.requests):
@@ -150,23 +151,27 @@ class ServingEngine:
                 request_id=request.request_id,
                 model=batch.key.model,
                 scheme=batch.key.scheme,
-                num_steps=batch.key.num_steps,
+                num_steps=num_steps,
                 image=images[position],
                 queue_wait=queue_wait,
                 batch_size=len(batch),
                 batch_latency=batch_latency,
                 total_latency=queue_wait + batch_latency,
                 embedding_cache_hit=(hit_flags[position]
-                                     if hit_flags is not None else None))
+                                     if hit_flags is not None else None),
+                plan=plan)
             responses.append(response)
             self.stats.record_request(RequestRecord(
                 request_id=request.request_id, model=batch.key.model,
-                scheme=batch.key.scheme, num_steps=batch.key.num_steps,
+                scheme=batch.key.scheme, num_steps=num_steps,
                 queue_wait=queue_wait, batch_size=len(batch),
                 batch_latency=batch_latency,
                 total_latency=response.total_latency,
                 latency_slo=request.latency_slo,
-                slo_met=response.meets_slo(request.latency_slo)))
+                slo_met=response.meets_slo(request.latency_slo),
+                sampler=plan.sampler,
+                guidance_scale=plan.guidance_scale,
+                eta=plan.eta))
         return responses
 
     def _drain_queue(self) -> List[Response]:

@@ -2,10 +2,12 @@
 
 Builds request streams with the properties that make serving interesting:
 a pool of prompts reused with a Zipf-like popularity skew (so the
-embedding cache has something to hit), a mix of models, and a mix of
-latency SLO tiers (so the router serves different schemes).  Everything is
-seeded, so a workload is reproducible across runs and across the
-sequential-vs-batched comparison in the throughput benchmark.
+embedding cache has something to hit), a mix of models, a mix of latency
+SLO tiers (so the router serves different schemes and step budgets) and a
+mix of generation plans (so the batcher sees several sampler/guidance
+groups).  Everything is seeded, so a workload is reproducible across runs
+and across the sequential-vs-batched comparison in the throughput
+benchmark.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..data.prompts import sample_prompt_specs
+from ..diffusion.plan import GenerationPlan
 from ..models import get_model_spec
 from .engine import ServingEngine
 from .request import Request
@@ -58,6 +61,9 @@ class WorkloadConfig:
     prompt_pool_size: int = 8
     popularity_skew: float = 1.2          # Zipf exponent; 0 = uniform prompts
     slo_tiers: Sequence[Optional[str]] = (None,)
+    #: Generation plans requests draw from uniformly; ``None`` entries mean
+    #: "no plan asked" (the engine's default trajectory).
+    plans: Sequence[Optional[GenerationPlan]] = (None,)
     seed: int = 0
 
 
@@ -82,9 +88,11 @@ def generate_workload(config: WorkloadConfig,
         if spec.task == "text-to-image":
             prompt = prompt_pool[int(rng.choice(len(prompt_pool), p=popularity))]
         tier = config.slo_tiers[int(rng.integers(len(config.slo_tiers)))]
+        plan = config.plans[int(rng.integers(len(config.plans)))]
         requests.append(Request(
             model=model, prompt=prompt, num_steps=steps,
             latency_slo=slo_for_tier(router, model, steps, tier),
+            plan=plan,
             seed=int(rng.integers(2 ** 31)),
         ))
     return requests

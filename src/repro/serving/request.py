@@ -20,6 +20,8 @@ from typing import Deque, Dict, Optional
 
 import numpy as np
 
+from ..diffusion.plan import GenerationPlan
+
 
 class QueueFullError(RuntimeError):
     """Raised when a request is pushed into a queue that is at capacity."""
@@ -30,9 +32,13 @@ class Request:
     """One inference request.
 
     ``scheme`` pins an explicit quantization scheme; when ``None`` the
-    SLO router chooses one from ``latency_slo`` (seconds).  ``num_steps``
-    defaults to the model's standard sampling-step count.  ``seed`` makes
-    the request's image deterministic regardless of how it is batched.
+    SLO router chooses one from ``latency_slo`` (seconds).  ``plan``
+    requests a generation trajectory (sampler, step budget, guidance); the
+    router treats its step budget as a ceiling it may reduce under a tight
+    SLO.  ``num_steps`` is the legacy spelling of a bare step budget and is
+    folded into the plan; both default to the model's standard
+    sampling-step count.  ``seed`` makes the request's image deterministic
+    regardless of how it is batched.
     """
 
     model: str
@@ -40,6 +46,7 @@ class Request:
     num_steps: Optional[int] = None
     latency_slo: Optional[float] = None
     scheme: Optional[str] = None
+    plan: Optional[GenerationPlan] = None
     seed: int = 0
     request_id: Optional[int] = None
     arrival_time: Optional[float] = None
@@ -59,6 +66,9 @@ class Response:
     batch_latency: float       # wall-clock seconds of the batch's generation
     total_latency: float       # queue_wait + batch_latency
     embedding_cache_hit: Optional[bool] = None
+    #: The generation plan the request was actually served with (the routed
+    #: plan — possibly step-reduced relative to what was asked for).
+    plan: Optional[GenerationPlan] = None
 
     def meets_slo(self, slo: Optional[float]) -> Optional[bool]:
         """Whether the measured total latency met the given SLO (None = no SLO)."""

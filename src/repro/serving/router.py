@@ -1,33 +1,48 @@
-"""SLO-aware scheme routing over the analytic roofline cost model.
+"""SLO-aware (scheme, plan) routing over the analytic roofline cost model.
 
-Routing implements the paper-motivated serving policy: quantization is a
-latency/quality dial, so each request should be served at the **highest
-quality the latency budget allows** — FP32 when there is headroom, FP8/FP4
-as the SLO tightens (conf_iiswc_ChenGM24's characterization is exactly the
-cost model that makes this prediction possible without running anything).
+Routing implements the paper-motivated serving policy in **two dimensions**:
+quantization is a latency/quality dial (fewer bits, cheaper forwards) and so
+is the generation plan (fewer steps, fewer forwards; guidance doubles them;
+second-order solvers multiply them).  Each request should be served at the
+highest quality its latency budget allows — FP32 at the full step budget
+when there is headroom, lower-precision schemes as the SLO tightens, and
+only then reduced step budgets (conf_iiswc_ChenGM24's characterization is
+exactly the cost model that makes this prediction possible without running
+anything).
 
-For a request the router predicts per-scheme end-to-end latency as
+For a candidate ``(scheme, plan)`` the router predicts end-to-end latency as
 
-    steps x roofline(U-Net forward @ scheme bytes-per-element)
+    plan_model_evals(steps, guidance, solver order)
+        x roofline(U-Net forward @ scheme bytes-per-element)
 
-using :func:`repro.profiling.estimate_scheme_latency`, then picks the
-highest-quality (most bits) candidate whose prediction fits the SLO.  When
-no candidate fits, it degrades to the cheapest (fastest predicted) scheme —
-an overloaded system serves *something* rather than nothing.  Requests
-without an SLO get the best-quality scheme outright.
+using :func:`repro.profiling.estimate_plan_latency` semantics, then picks
+the best-quality candidate that fits the SLO.  Quality order: full step
+budget across the scheme ladder first (the paper shows precision costs less
+quality than trajectory truncation at matched speedups), then progressively
+reduced step budgets.  When nothing fits, it degrades to the cheapest
+candidate — an overloaded system serves *something* rather than nothing.
+Requests without an SLO get the best-quality scheme at the full plan.
+
+:meth:`SLORouter.route` keeps the legacy scheme-string contract as a shim
+over :meth:`SLORouter.decide`, which returns the full
+:class:`RoutingDecision` (scheme + concrete plan + predicted latency).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.schemes import get_scheme
+from ..diffusion.plan import GenerationPlan
+from ..diffusion.samplers import get_sampler_info
 from ..models import get_model_spec
 from ..profiling import (
     DeviceProfile,
     GPU_V100,
     LayerCost,
     estimate_scheme_latency,
+    plan_model_evals,
     unet_layer_costs,
 )
 from .request import Request
@@ -35,15 +50,29 @@ from .request import Request
 #: Default candidate ladder, best quality first.
 DEFAULT_SCHEMES = ("fp32", "fp8", "fp4")
 
+#: Step budgets the router may degrade to, as fractions of the requested
+#: budget, best quality (most steps) first.
+DEFAULT_STEP_FRACTIONS = (1.0, 0.5, 0.25)
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The router's verdict for one request: what to serve it with."""
+
+    scheme: str
+    plan: GenerationPlan            # num_steps resolved to a concrete count
+    predicted_latency: float        # roofline end-to-end estimate (seconds)
+
 
 class SLORouter:
-    """Chooses a quantization scheme per request from latency predictions."""
+    """Chooses a (scheme, generation plan) per request from predictions."""
 
     def __init__(self, schemes: Sequence[str] = DEFAULT_SCHEMES,
                  device: DeviceProfile = GPU_V100,
                  batch_size: int = 1,
                  context_tokens: int = 16,
-                 costs_fn: Optional[Callable[[str], List[LayerCost]]] = None):
+                 costs_fn: Optional[Callable[[str], List[LayerCost]]] = None,
+                 step_fractions: Sequence[float] = DEFAULT_STEP_FRACTIONS):
         """
         ``costs_fn`` maps a model name to the per-layer cost list the
         roofline runs over; the default walks the model's own (scaled-down)
@@ -51,12 +80,23 @@ class SLORouter:
         unet_layer_costs(paper_scale_stable_diffusion_config(), 64)`` routes
         with paper-scale costs — useful because the reproduction's stand-in
         models are so small that launch overhead flattens the scheme spread.
+
+        ``step_fractions`` are the step budgets the router may degrade a
+        request's plan to (fractions of the requested budget).  The full
+        budget is always a candidate; fractions outside ``(0, 1]`` are
+        rejected.
         """
         if not schemes:
             raise ValueError("router needs at least one candidate scheme")
         # Sort best quality (most bits) first; ties keep caller order.
         self.schemes: List[str] = sorted(
             schemes, key=lambda s: -get_scheme(s).bits)
+        for fraction in step_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"step fractions must be in (0, 1], got {fraction}")
+        fractions = sorted(set(step_fractions) | {1.0}, reverse=True)
+        self.step_fractions: Tuple[float, ...] = tuple(fractions)
         self.device = device
         self.batch_size = batch_size
         self.context_tokens = context_tokens
@@ -71,7 +111,7 @@ class SLORouter:
                                 context_tokens=self.context_tokens)
 
     def predicted_step_latency(self, model: str, scheme: str) -> float:
-        """Roofline latency of one denoising step of ``model`` at ``scheme``."""
+        """Roofline latency of one U-Net forward of ``model`` at ``scheme``."""
         key = (model, scheme)
         cached = self._cost_cache.get(key)
         if cached is not None:
@@ -82,8 +122,33 @@ class SLORouter:
         return latency
 
     def predicted_latency(self, model: str, scheme: str, num_steps: int) -> float:
-        """Predicted end-to-end generation latency (all denoising steps)."""
+        """Predicted end-to-end latency of a plain ``num_steps`` trajectory."""
         return self.predicted_step_latency(model, scheme) * num_steps
+
+    def plan_steps(self, model: str, plan: GenerationPlan) -> int:
+        """The concrete step count ``plan`` performs on ``model``.
+
+        Plans for full-grid samplers (DDPM) carry no step budget; they
+        resolve to the model's ``train_timesteps``.
+        """
+        spec = get_model_spec(model)
+        return plan.resolve_steps(spec.default_sampling_steps,
+                                  spec.train_timesteps)
+
+    def predicted_plan_latency(self, model: str, scheme: str,
+                               plan: GenerationPlan) -> float:
+        """Predicted end-to-end latency of serving ``plan`` at ``scheme``.
+
+        The same quantity as :func:`repro.profiling.estimate_plan_latency`,
+        built from the cached per-forward roofline: accounts for the
+        solver's evaluations per step and the 2x model evaluations of
+        classifier-free guidance.
+        """
+        info = get_sampler_info(plan.sampler)
+        evals = plan_model_evals(
+            self.plan_steps(model, plan), plan.guidance_scale,
+            info.evals_per_step, info.first_order_final_step)
+        return self.predicted_step_latency(model, scheme) * evals
 
     def predictions(self, model: str, num_steps: int) -> Dict[str, float]:
         """Predicted latency for every candidate scheme (debug/ops view)."""
@@ -91,26 +156,82 @@ class SLORouter:
                 for scheme in self.schemes}
 
     # ------------------------------------------------------------------
-    def route(self, request: Request, num_steps: Optional[int] = None) -> str:
-        """Pick the scheme to serve ``request`` with.
+    def resolve_plan(self, request: Request,
+                     num_steps: Optional[int] = None) -> GenerationPlan:
+        """The request's plan with a concrete step count.
 
-        An explicitly requested scheme always wins.  With an SLO, the
-        best-quality scheme predicted to fit is chosen (so the cheaper,
-        lower-precision schemes are used exactly when the budget demands
-        them); with no feasible scheme, the fastest one; with no SLO, the
-        best-quality scheme.
+        Precedence for the step budget: the plan's own ``num_steps``, the
+        request's legacy ``num_steps`` field, an explicit ``num_steps``
+        argument, then the model's ``default_sampling_steps`` (samplers that
+        walk the full training grid resolve to ``train_timesteps``).
         """
-        if request.scheme is not None:
-            return request.scheme
+        plan = request.plan or GenerationPlan()
+        if plan.num_steps is None and request.num_steps is not None:
+            plan = plan.with_(num_steps=request.num_steps)
+        spec = get_model_spec(request.model)
+        default_steps = num_steps or spec.default_sampling_steps
+        return plan.with_(num_steps=plan.resolve_steps(default_steps,
+                                                       spec.train_timesteps))
+
+    def _candidate_plans(self, plan: GenerationPlan) -> List[GenerationPlan]:
+        """Step-degraded variants of ``plan``, best quality first."""
+        if not get_sampler_info(plan.sampler).uses_step_budget:
+            return [plan]
+        budgets = dict.fromkeys(
+            max(1, int(round(plan.num_steps * fraction)))
+            for fraction in self.step_fractions)
+        return [plan.with_(num_steps=steps) for steps in budgets]
+
+    def decide(self, request: Request,
+               num_steps: Optional[int] = None,
+               allow_step_reduction: bool = True) -> RoutingDecision:
+        """Pick the (scheme, plan) to serve ``request`` with.
+
+        An explicitly requested scheme always wins the scheme dimension.
+        With an SLO, the best-quality candidate predicted to fit is chosen —
+        trying the full step budget across the scheme ladder before reducing
+        steps, so cheaper schemes absorb tight budgets first and the
+        trajectory is only truncated when no precision can save it.  With no
+        feasible candidate, the cheapest one; with no SLO, best quality at
+        the full budget.  ``allow_step_reduction=False`` restricts the
+        search to the requested budget (the one-dimensional legacy policy —
+        a caller that will generate at full steps regardless must not be
+        handed a scheme that was only feasible at fewer).
+        """
+        plan = self.resolve_plan(request, num_steps=num_steps)
+        schemes = ([request.scheme] if request.scheme is not None
+                   else self.schemes)
         if request.latency_slo is None:
-            return self.schemes[0]
-        steps = num_steps
-        if steps is None:
-            steps = (request.num_steps
-                     or get_model_spec(request.model).default_sampling_steps)
-        predictions = {scheme: self.predicted_latency(request.model, scheme, steps)
-                       for scheme in self.schemes}
-        for scheme in self.schemes:  # best quality first
-            if predictions[scheme] <= request.latency_slo:
-                return scheme
-        return min(predictions, key=predictions.get)
+            scheme = schemes[0]
+            return RoutingDecision(
+                scheme=scheme, plan=plan,
+                predicted_latency=self.predicted_plan_latency(
+                    request.model, scheme, plan))
+        plans = (self._candidate_plans(plan) if allow_step_reduction
+                 else [plan])
+        candidates = [(scheme, candidate)
+                      for candidate in plans
+                      for scheme in schemes]
+        predicted = {
+            (scheme, candidate): self.predicted_plan_latency(
+                request.model, scheme, candidate)
+            for scheme, candidate in candidates}
+        for scheme, candidate in candidates:  # best quality first
+            if predicted[(scheme, candidate)] <= request.latency_slo:
+                return RoutingDecision(scheme=scheme, plan=candidate,
+                                       predicted_latency=predicted[
+                                           (scheme, candidate)])
+        scheme, candidate = min(predicted, key=predicted.get)
+        return RoutingDecision(scheme=scheme, plan=candidate,
+                               predicted_latency=predicted[(scheme, candidate)])
+
+    def route(self, request: Request, num_steps: Optional[int] = None) -> str:
+        """Legacy shim: the best scheme *at the requested step budget*.
+
+        Step reduction is disabled because callers of the string-returning
+        API generate at the request's own step count — handing them a
+        scheme that only fit the SLO at fewer steps would serve the worst
+        of both dimensions.
+        """
+        return self.decide(request, num_steps=num_steps,
+                           allow_step_reduction=False).scheme

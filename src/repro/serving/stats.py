@@ -1,11 +1,14 @@
 """Serving instrumentation: per-request and per-batch records, JSON report.
 
 Every served request contributes a :class:`RequestRecord` (queue wait, batch
-size, measured latency, scheme actually served) and every generation pass a
-:class:`BatchRecord`.  :meth:`ServingStats.report` aggregates them into the
-quantities a serving operator watches — p50/p95 latency and queue wait,
-throughput, mean/histogram batch size, rejection count, cache hit rates —
-and serializes to JSON so load-test runs can be archived and diffed.
+size, measured latency, scheme *and generation plan* actually served) and
+every generation pass a :class:`BatchRecord`.  :meth:`ServingStats.report`
+aggregates them into the quantities a serving operator watches — p50/p95
+latency and queue wait, throughput, mean/histogram batch size, rejection
+count, cache hit rates, and a per-plan block (latency summary, scheme mix
+and SLO attainment per routed sampler/steps/guidance combination, the
+quality dimension the two-dimensional router trades) — and serializes to
+JSON so load-test runs can be archived and diffed.
 """
 
 from __future__ import annotations
@@ -32,6 +35,24 @@ class RequestRecord:
     total_latency: float
     latency_slo: Optional[float]
     slo_met: Optional[bool]
+    sampler: str = "ddim"
+    guidance_scale: float = 1.0
+    eta: float = 0.0
+
+    @property
+    def plan_label(self) -> str:
+        """Routed-plan identity for grouping, e.g. ``ddim/8`` or ``dpm2/4@g2``.
+
+        Every plan knob that changes the served execution participates —
+        eta included, since stochastic plans take a different (per-row)
+        serving path with a different latency profile.
+        """
+        label = f"{self.sampler}/{self.num_steps}"
+        if self.guidance_scale != 1.0:
+            label += f"@g{self.guidance_scale:g}"
+        if self.eta != 0.0:
+            label += f"@eta{self.eta:g}"
+        return label
 
 
 @dataclass
@@ -43,6 +64,9 @@ class BatchRecord:
     num_steps: int
     batch_size: int
     latency: float
+    sampler: str = "ddim"
+    guidance_scale: float = 1.0
+    eta: float = 0.0
 
 
 def _percentile(values: List[float], q: float) -> float:
@@ -120,6 +144,25 @@ class ServingStats:
         scheme_counts: Dict[str, int] = {}
         for record in self.requests:
             scheme_counts[record.scheme] = scheme_counts.get(record.scheme, 0) + 1
+        plan_groups: Dict[str, List[RequestRecord]] = {}
+        for record in self.requests:
+            plan_groups.setdefault(record.plan_label, []).append(record)
+        plans: Dict[str, Dict] = {}
+        for label in sorted(plan_groups):
+            records = plan_groups[label]
+            by_scheme: Dict[str, int] = {}
+            for record in records:
+                by_scheme[record.scheme] = by_scheme.get(record.scheme, 0) + 1
+            targeted = [r for r in records if r.slo_met is not None]
+            plans[label] = {
+                "count": len(records),
+                "latency_s": _summary([r.total_latency for r in records]),
+                "by_scheme": by_scheme,
+                "slo": {
+                    "with_target": len(targeted),
+                    "met": sum(1 for r in targeted if r.slo_met),
+                },
+            }
         return {
             "requests": {
                 "completed": len(self.requests),
@@ -139,6 +182,7 @@ class ServingStats:
                 "with_target": len(with_slo),
                 "met": sum(1 for r in with_slo if r.slo_met),
             },
+            "plans": plans,
             "components": self.components,
         }
 

@@ -1,0 +1,582 @@
+"""Tests for the unified generation API (ISSUE 4).
+
+Covers the sampler registry, GenerationPlan serialization/fingerprints,
+bit-exactness of the default-plan shims against the legacy arithmetic,
+classifier-free-guidance and second-order-solver determinism, DDPM
+reproducibility from per-batch seeds, batch invariance of
+``generate_batch`` under non-default plans, plan-fingerprint cache
+invalidation in the run store, and the two-dimensional (scheme x step
+budget) SLO router with its per-plan serving stats.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.diffusion import (
+    DDIMSampler,
+    DDPMSampler,
+    DiffusionPipeline,
+    GenerationPlan,
+    NoiseSchedule,
+    available_samplers,
+    get_sampler_info,
+    register_sampler,
+)
+from repro.diffusion.samplers import SAMPLER_REGISTRY
+from repro.experiments import (
+    BenchSettings,
+    ExperimentSpec,
+    RowSpec,
+    RunStore,
+    compile_experiment,
+    run_experiment,
+)
+from repro.models import DiffusionModel
+from repro.profiling import (
+    paper_scale_stable_diffusion_config,
+    plan_model_evals,
+    unet_layer_costs,
+)
+from repro.serving import (
+    EngineConfig,
+    ModelVariantPool,
+    Request,
+    ServingEngine,
+    SLORouter,
+)
+from repro.zoo import PretrainConfig
+
+from tiny_factories import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def uncond_pipeline():
+    spec = make_tiny_spec(name="ddim-cifar10")
+    return DiffusionPipeline(DiffusionModel(spec, rng=np.random.default_rng(6)),
+                             num_steps=4)
+
+
+@pytest.fixture(scope="module")
+def text_pipeline():
+    spec = make_tiny_spec(name="stable-diffusion", task="text-to-image",
+                          latent=True)
+    return DiffusionPipeline(DiffusionModel(spec, rng=np.random.default_rng(5)),
+                             num_steps=4)
+
+
+@pytest.fixture(scope="module")
+def paper_router():
+    costs = unet_layer_costs(paper_scale_stable_diffusion_config(), 64)
+    return SLORouter(costs_fn=lambda model: costs)
+
+
+# ----------------------------------------------------------------------
+# sampler registry
+# ----------------------------------------------------------------------
+class TestSamplerRegistry:
+    def test_builtin_samplers_registered(self):
+        assert {"ddpm", "ddim", "dpm2"} <= set(available_samplers())
+
+    def test_unknown_sampler_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="registered samplers"):
+            get_sampler_info("euler-maruyama")
+        with pytest.raises(ValueError, match="registered samplers"):
+            GenerationPlan(sampler="euler-maruyama")
+
+    def test_registry_metadata_feeds_cost_model(self):
+        assert get_sampler_info("ddim").evals_per_step == 1
+        assert get_sampler_info("dpm2").evals_per_step == 2
+        assert not get_sampler_info("ddpm").uses_step_budget
+
+    def test_custom_sampler_pluggable_through_plans(self, uncond_pipeline):
+        class HalfStepDDIM:
+            """A sampler that visits half the requested steps."""
+
+            def __init__(self, schedule, num_steps):
+                self.inner = DDIMSampler(schedule, max(1, num_steps // 2))
+
+            def sample(self, *args, **kwargs):
+                return self.inner.sample(*args, **kwargs)
+
+        register_sampler("half-ddim",
+                         lambda schedule, steps, eta: HalfStepDDIM(schedule,
+                                                                   steps))
+        try:
+            images = uncond_pipeline.generate(
+                2, seed=0, batch_size=2, plan=GenerationPlan(sampler="half-ddim"))
+            assert images.shape[0] == 2 and np.isfinite(images).all()
+        finally:
+            SAMPLER_REGISTRY.pop("half-ddim")
+
+
+# ----------------------------------------------------------------------
+# GenerationPlan value semantics
+# ----------------------------------------------------------------------
+class TestGenerationPlan:
+    def test_json_round_trip_and_fingerprint_stability(self):
+        plan = GenerationPlan(sampler="dpm2", num_steps=5, guidance_scale=2.5)
+        restored = GenerationPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.fingerprint() == plan.fingerprint()
+        # fingerprints are content hashes: independent instances agree,
+        # any field change re-keys
+        assert GenerationPlan().fingerprint() == GenerationPlan().fingerprint()
+        assert GenerationPlan(num_steps=5).fingerprint() != \
+            GenerationPlan(num_steps=6).fingerprint()
+        assert GenerationPlan(guidance_scale=2.0).fingerprint() != \
+            GenerationPlan().fingerprint()
+
+    def test_trajectory_fingerprint_excludes_step_budget(self):
+        assert GenerationPlan(num_steps=5).trajectory_fingerprint() == \
+            GenerationPlan(num_steps=10).trajectory_fingerprint()
+        assert GenerationPlan(sampler="dpm2").trajectory_fingerprint() != \
+            GenerationPlan().trajectory_fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenerationPlan(num_steps=0)
+        with pytest.raises(ValueError):
+            GenerationPlan(guidance_scale=0.0)
+        with pytest.raises(ValueError):
+            GenerationPlan(eta=-0.1)
+
+    def test_default_plan_detection_and_describe(self):
+        assert GenerationPlan().is_default()
+        assert GenerationPlan(num_steps=7).is_default()  # steps keyed separately
+        assert not GenerationPlan(sampler="dpm2").is_default()
+        assert not GenerationPlan(guidance_scale=2.0).is_default()
+        assert GenerationPlan(sampler="dpm2", num_steps=5,
+                              guidance_scale=2.0).describe() == "dpm2-5-g2"
+
+    def test_eta_normalized_for_samplers_that_ignore_it(self):
+        # dpm2 and ddpm take no eta: the knob must not split fingerprints
+        assert GenerationPlan(sampler="dpm2", eta=0.5).eta == 0.0
+        assert GenerationPlan(sampler="ddpm", eta=0.5).eta == 0.0
+        assert GenerationPlan(sampler="dpm2", eta=0.5).fingerprint() == \
+            GenerationPlan(sampler="dpm2").fingerprint()
+        # ddim responds to eta, so it is kept (and marks the plan stochastic)
+        assert GenerationPlan(eta=0.5).eta == 0.5
+        assert GenerationPlan(eta=0.5).is_stochastic
+        assert GenerationPlan(sampler="ddpm").is_stochastic
+        assert not GenerationPlan(sampler="dpm2").is_stochastic
+
+    def test_ddpm_resolves_to_full_training_grid(self):
+        plan = GenerationPlan(sampler="ddpm", num_steps=4)
+        # full-grid samplers have no step budget: it is normalized away so
+        # stage keys, batch keys and labels all reflect the work done
+        assert plan.num_steps is None
+        assert plan.fingerprint() == GenerationPlan(sampler="ddpm").fingerprint()
+        assert plan.resolve_steps(default_steps=4, train_steps=100) == 100
+
+    def test_guidance_rejected_for_unconditional_models(self, uncond_pipeline):
+        guided = GenerationPlan(guidance_scale=2.0)
+        with pytest.raises(ValueError, match="unconditional"):
+            uncond_pipeline.generate(2, seed=0, plan=guided)
+        with pytest.raises(ValueError, match="unconditional"):
+            compile_experiment(ExperimentSpec(
+                model="ddim-cifar10",
+                rows=[RowSpec(preset="FP8/FP8", plan=guided)],
+                references=("dataset",), with_clip=False))
+
+
+# ----------------------------------------------------------------------
+# default-plan shims are bit-exact
+# ----------------------------------------------------------------------
+class TestDefaultPlanBitExact:
+    def test_generate_matches_legacy_arithmetic(self, uncond_pipeline):
+        pipe = uncond_pipeline
+        images = pipe.generate(3, seed=0, batch_size=2)
+        np.testing.assert_array_equal(
+            images, pipe.generate(3, seed=0, batch_size=2,
+                                  plan=GenerationPlan()))
+        # the pre-plan pipeline: a DDIM sampler over chunked batches with
+        # per-chunk initial noise and rng offsets
+        schedule = NoiseSchedule.create(pipe.spec.train_timesteps)
+        sampler = DDIMSampler(schedule, 4)
+        chunks = []
+        for start in (0, 2):
+            count = min(2, 3 - start)
+            noise = pipe.initial_noise(count, start)
+            rng = np.random.default_rng(start + 1)
+            latents = sampler.sample(pipe.model, (count,) + pipe.spec.sample_shape,
+                                     rng, initial_noise=noise)
+            chunks.append(pipe.decode_latents(latents))
+        np.testing.assert_array_equal(images, np.concatenate(chunks))
+
+    def test_generate_batch_default_plan_unchanged(self, uncond_pipeline):
+        pipe = uncond_pipeline
+        np.testing.assert_array_equal(
+            pipe.generate_batch([7, 8]),
+            pipe.generate_batch([7, 8], plan=GenerationPlan()))
+
+    def test_generate_from_prompts_default_plan_unchanged(self, text_pipeline):
+        prompts = ["a red circle", "a blue square"]
+        np.testing.assert_array_equal(
+            text_pipeline.generate_from_prompts(prompts, seed=0),
+            text_pipeline.generate_from_prompts(prompts, seed=0,
+                                                plan=GenerationPlan()))
+
+
+# ----------------------------------------------------------------------
+# samplers through plans
+# ----------------------------------------------------------------------
+class TestPlanSampling:
+    def test_ddpm_reproducible_from_seed(self, uncond_pipeline):
+        """The DDPM branch uses the per-batch initial noise (satellite fix)."""
+        a = uncond_pipeline.generate(2, seed=3, batch_size=2, use_ddpm=True)
+        b = uncond_pipeline.generate(2, seed=3, batch_size=2, use_ddpm=True)
+        np.testing.assert_array_equal(a, b)
+        # the boolean shim and the declarative plan agree
+        c = uncond_pipeline.generate(2, seed=3, batch_size=2,
+                                     plan=GenerationPlan(sampler="ddpm"))
+        np.testing.assert_array_equal(a, c)
+
+    def test_ddpm_sampler_honors_initial_noise(self, uncond_pipeline):
+        schedule = NoiseSchedule.create(uncond_pipeline.spec.train_timesteps)
+        sampler = DDPMSampler(schedule)
+        shape = (1,) + uncond_pipeline.spec.sample_shape
+        noise = np.random.default_rng(0).standard_normal(shape).astype(np.float32)
+        a = sampler.sample(uncond_pipeline.model, shape,
+                           np.random.default_rng(1), initial_noise=noise)
+        b = sampler.sample(uncond_pipeline.model, shape,
+                           np.random.default_rng(1), initial_noise=noise)
+        np.testing.assert_array_equal(a, b)
+        # a different x_T changes the trajectory even under the same rng
+        c = sampler.sample(uncond_pipeline.model, shape,
+                           np.random.default_rng(1), initial_noise=noise + 1.0)
+        assert not np.allclose(a, c)
+
+    def test_dpm2_deterministic_and_distinct_from_ddim(self, uncond_pipeline):
+        plan = GenerationPlan(sampler="dpm2")
+        a = uncond_pipeline.generate(2, seed=1, batch_size=2, plan=plan)
+        b = uncond_pipeline.generate(2, seed=1, batch_size=2, plan=plan)
+        np.testing.assert_array_equal(a, b)
+        assert not np.allclose(a, uncond_pipeline.generate(2, seed=1,
+                                                           batch_size=2))
+
+    def test_cfg_deterministic_and_distinct(self, text_pipeline):
+        prompts = ["a red circle", "a blue square"]
+        plan = GenerationPlan(guidance_scale=3.0)
+        a = text_pipeline.generate_from_prompts(prompts, seed=0, plan=plan)
+        b = text_pipeline.generate_from_prompts(prompts, seed=0, plan=plan)
+        np.testing.assert_array_equal(a, b)
+        unguided = text_pipeline.generate_from_prompts(prompts, seed=0)
+        assert not np.allclose(a, unguided)
+
+    def test_cfg_scale_one_is_plain_model(self, text_pipeline):
+        plan = GenerationPlan(guidance_scale=1.0)
+        assert plan.wrap_model(text_pipeline.model) is text_pipeline.model
+
+    def test_generate_batch_invariant_under_non_default_plans(self,
+                                                              uncond_pipeline):
+        for plan in (GenerationPlan(sampler="dpm2", num_steps=4),
+                     GenerationPlan(num_steps=2)):
+            together = uncond_pipeline.generate_batch([11, 22, 33], plan=plan)
+            alone = uncond_pipeline.generate_batch([22], plan=plan)
+            np.testing.assert_allclose(together[1], alone[0],
+                                       atol=1e-3, rtol=1e-3)
+
+    def test_generate_batch_invariant_under_stochastic_plans(self,
+                                                             uncond_pipeline):
+        """Stochastic trajectories sample per row: no batchmate coupling."""
+        for plan in (GenerationPlan(sampler="ddpm"),
+                     GenerationPlan(num_steps=4, eta=0.5)):
+            together = uncond_pipeline.generate_batch([3, 4, 5], plan=plan)
+            alone = uncond_pipeline.generate_batch([4], plan=plan)
+            np.testing.assert_array_equal(together[1], alone[0])
+
+    def test_generate_batch_invariant_under_guidance(self, text_pipeline):
+        plan = GenerationPlan(guidance_scale=2.0, num_steps=4)
+        prompts = ["a red circle", "a blue square", "a green ring"]
+        context = text_pipeline.encode_prompts(prompts)
+        together = text_pipeline.generate_batch([1, 2, 3], context=context,
+                                                plan=plan)
+        alone = text_pipeline.generate_batch(
+            [2], context=text_pipeline.encode_prompts(prompts[1:2]), plan=plan)
+        np.testing.assert_allclose(together[1], alone[0], atol=1e-3, rtol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# DDIM timestep table (satellite)
+# ----------------------------------------------------------------------
+class TestTimestepTable:
+    def test_never_shrinks_below_requested_steps(self):
+        for train_steps in (10, 50, 100, 1000):
+            schedule = NoiseSchedule.create(train_steps)
+            for num_steps in (1, 2, 3, 7, train_steps // 2, train_steps):
+                sampler = DDIMSampler(schedule, num_steps)
+                assert len(sampler.timesteps) == num_steps, \
+                    (train_steps, num_steps)
+                assert len(set(sampler.timesteps)) == num_steps
+                assert all(0 <= t < train_steps for t in sampler.timesteps)
+                assert sampler.timesteps == sorted(sampler.timesteps,
+                                                   reverse=True)
+
+    def test_table_cached_per_train_and_num_steps(self):
+        from repro.diffusion.samplers import _TIMESTEP_TABLES
+
+        DDIMSampler._build_timesteps(640, 13)
+        table = _TIMESTEP_TABLES[(640, 13)]
+        assert DDIMSampler._build_timesteps(640, 13) == list(table)
+        # the cached tuple itself is reused, not rebuilt
+        assert _TIMESTEP_TABLES[(640, 13)] is table
+
+    def test_collision_refill_keeps_count(self):
+        from repro.diffusion.samplers import _TIMESTEP_TABLES
+
+        # Simulate a rounding collision by pre-seeding the cache API path:
+        # build from a raw list with duplicates via the private helper on a
+        # fresh key, then ensure the public table is full-length regardless.
+        _TIMESTEP_TABLES.pop((9, 9), None)
+        steps = DDIMSampler._build_timesteps(9, 9)
+        assert steps == list(range(8, -1, -1))
+
+
+# ----------------------------------------------------------------------
+# plan-aware experiment specs and run-store keys
+# ----------------------------------------------------------------------
+def plan_sweep_spec(store_settings) -> ExperimentSpec:
+    return ExperimentSpec(
+        model="ddim-cifar10",
+        rows=[RowSpec(preset="FP8/FP8"),
+              RowSpec(preset="FP8/FP8", plan=GenerationPlan(sampler="dpm2"))],
+        settings=store_settings,
+        references=("dataset",), with_clip=False)
+
+
+class TestPlanAwareExperiments:
+    def tiny_settings(self) -> BenchSettings:
+        return BenchSettings(
+            num_images=4, num_steps=2, seed=5, batch_size=4,
+            num_bias_candidates=5, rounding_iterations=3,
+            calibration_samples=2, calibration_records_per_layer=2,
+            pretrain=PretrainConfig(dataset_size=8, autoencoder_steps=2,
+                                    denoiser_steps=4))
+
+    def test_spec_json_round_trip_with_plans(self):
+        spec = plan_sweep_spec(self.tiny_settings())
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.fingerprint() == spec.fingerprint()
+        assert restored.rows[1].plan == GenerationPlan(sampler="dpm2")
+        assert restored.row_labels() == spec.row_labels()
+
+    def test_default_plan_keeps_legacy_stage_keys(self):
+        settings = self.tiny_settings()
+        bare = ExperimentSpec.from_labels("ddim-cifar10", ["FP8/FP8"], settings)
+        planned = ExperimentSpec(
+            model="ddim-cifar10",
+            rows=[RowSpec(preset="FP8/FP8", plan=GenerationPlan(num_steps=2))],
+            settings=settings)
+        bare_plan = compile_experiment(bare)
+        planned_plan = compile_experiment(planned)
+        bare_keys = {bare_plan.graph.fingerprint(s.stage_id)
+                     for s in bare_plan.graph.stages if s.kind == "generate"}
+        planned_keys = {planned_plan.graph.fingerprint(s.stage_id)
+                        for s in planned_plan.graph.stages
+                        if s.kind == "generate"}
+        # a plan that only spells out the same step budget maps to the very
+        # same artifacts as the pre-plan spec
+        assert bare_keys == planned_keys
+
+    def test_plan_rows_share_quantize_and_rekey_generate(self):
+        spec = plan_sweep_spec(self.tiny_settings())
+        compiled = compile_experiment(spec)
+        quantize = [s for s in compiled.graph.stages if s.kind == "quantize"]
+        assert len(quantize) == 1  # the plan sweep shares one quantized model
+        generate = [s for s in compiled.graph.stages if s.kind == "generate"]
+        keys = {compiled.graph.fingerprint(s.stage_id) for s in generate}
+        assert len(keys) == len(generate) == 2  # one per plan row, distinct keys
+
+    def test_plan_fingerprint_invalidates_run_store_cache(self, tmp_path):
+        settings = self.tiny_settings()
+        store = RunStore(tmp_path / "store")
+        spec = ExperimentSpec(
+            model="ddim-cifar10",
+            rows=[RowSpec(preset="FP8/FP8")],
+            settings=settings, references=("dataset",), with_clip=False)
+        cold = run_experiment(spec, store=store)
+        assert cold.manifest.hit_rate == 0.0
+
+        warm = run_experiment(spec, store=store)
+        assert warm.manifest.hit_rate == 1.0
+
+        swept = ExperimentSpec(
+            model="ddim-cifar10",
+            rows=[RowSpec(preset="FP8/FP8",
+                          plan=GenerationPlan(sampler="dpm2"))],
+            settings=settings, references=("dataset",), with_clip=False)
+        third = run_experiment(swept, store=store)
+        by_kind = {}
+        for record in third.manifest.stages:
+            by_kind.setdefault(record.kind, []).append(record.cache_hit)
+        # upstream stages are untouched by the plan...
+        assert all(by_kind["pretrain"]) and all(by_kind["quantize"])
+        assert all(by_kind["dataset-reference"])
+        # ...while the plan-keyed generation (and its evaluation) recompute
+        assert not any(by_kind["generate"])
+        assert not any(by_kind["evaluate"])
+        # and the sweep's metrics differ from the default trajectory's
+        assert third.table.rows[0].metrics["dataset"].fid != \
+            cold.table.rows[0].metrics["dataset"].fid
+
+
+# ----------------------------------------------------------------------
+# two-dimensional SLO routing + per-plan serving stats
+# ----------------------------------------------------------------------
+class TestPlanAwareServing:
+    def test_router_accounts_for_guidance_and_solver_order(self, paper_router):
+        step = paper_router.predicted_step_latency("stable-diffusion", "fp8")
+        guided = paper_router.predicted_plan_latency(
+            "stable-diffusion", "fp8",
+            GenerationPlan(num_steps=10, guidance_scale=2.0))
+        assert guided == pytest.approx(2 * 10 * step)
+        second_order = paper_router.predicted_plan_latency(
+            "stable-diffusion", "fp8", GenerationPlan(sampler="dpm2",
+                                                      num_steps=10))
+        assert second_order == pytest.approx((2 * 10 - 1) * step)
+        # the last-step credit is per-sampler metadata, not baked in
+        assert plan_model_evals(10, 2.0, 2,
+                                first_order_final_step=True) == 2 * (2 * 10 - 1)
+        assert plan_model_evals(10, 2.0, 2) == 2 * 2 * 10
+
+    def test_router_matches_estimate_plan_latency(self, paper_router):
+        from repro.profiling import GPU_V100, estimate_plan_latency
+
+        costs = unet_layer_costs(paper_scale_stable_diffusion_config(), 64)
+        expected = estimate_plan_latency(costs, GPU_V100, "fp4", num_steps=10,
+                                         guidance_scale=2.0,
+                                         solver_evals_per_step=2,
+                                         first_order_final_step=True)
+        predicted = paper_router.predicted_plan_latency(
+            "stable-diffusion", "fp4",
+            GenerationPlan(sampler="dpm2", num_steps=10, guidance_scale=2.0))
+        assert predicted == pytest.approx(expected)
+
+    def test_router_ddpm_plan_priced_at_training_grid(self, paper_router):
+        from repro.models import get_model_spec
+
+        train = get_model_spec("stable-diffusion").train_timesteps
+        plan = GenerationPlan(sampler="ddpm")
+        assert paper_router.plan_steps("stable-diffusion", plan) == train
+        step = paper_router.predicted_step_latency("stable-diffusion", "fp32")
+        assert paper_router.predicted_plan_latency(
+            "stable-diffusion", "fp32", plan) == pytest.approx(train * step)
+
+    def test_engine_rejects_guided_requests_for_unconditional(self,
+                                                              text_pipeline,
+                                                              paper_router):
+        pool = ModelVariantPool(builder=lambda m, s: text_pipeline)
+        engine = ServingEngine(pool, router=paper_router)
+        with pytest.raises(ValueError, match="unconditional"):
+            engine.submit(Request(model="ddim-cifar10",
+                                  plan=GenerationPlan(guidance_scale=2.0)))
+
+    def test_generate_batch_rejects_guidance_without_context(self,
+                                                             text_pipeline):
+        with pytest.raises(ValueError, match="context"):
+            text_pipeline.generate_batch(
+                [1, 2], plan=GenerationPlan(guidance_scale=2.0))
+
+    def test_plan_label_includes_every_execution_knob(self):
+        from repro.serving import RequestRecord
+
+        def record(**kwargs):
+            base = dict(request_id=0, model="m", scheme="fp8", num_steps=8,
+                        queue_wait=0.0, batch_size=1, batch_latency=0.0,
+                        total_latency=0.0, latency_slo=None, slo_met=None)
+            base.update(kwargs)
+            return RequestRecord(**base)
+
+        assert record().plan_label == "ddim/8"
+        assert record(guidance_scale=2.0).plan_label == "ddim/8@g2"
+        assert record(eta=0.5).plan_label == "ddim/8@eta0.5"
+        assert record(sampler="dpm2", num_steps=4,
+                      guidance_scale=2.0).plan_label == "dpm2/4@g2"
+
+    def test_router_prefers_precision_over_steps(self, paper_router):
+        predictions = paper_router.predictions("stable-diffusion", 50)
+        medium = 0.5 * (predictions["fp8"] + predictions["fp32"])
+        decision = paper_router.decide(
+            Request(model="stable-diffusion", num_steps=50, latency_slo=medium))
+        # fp8 at the FULL budget fits, so no steps are sacrificed
+        assert decision.scheme == "fp8"
+        assert decision.plan.num_steps == 50
+
+    def test_router_reduces_steps_under_tight_slo(self, paper_router):
+        predictions = paper_router.predictions("stable-diffusion", 50)
+        # below every scheme at the full budget
+        slo = 0.9 * min(predictions.values())
+        decision = paper_router.decide(
+            Request(model="stable-diffusion", num_steps=50, latency_slo=slo))
+        assert decision.plan.num_steps < 50
+        assert decision.predicted_latency <= slo
+
+    def test_router_legacy_route_shim(self, paper_router):
+        predictions = paper_router.predictions("stable-diffusion", 50)
+        tight = 0.5 * (predictions["fp4"] + predictions["fp8"])
+        assert paper_router.route(Request(model="stable-diffusion",
+                                          num_steps=50,
+                                          latency_slo=tight)) == "fp4"
+
+    def test_route_shim_never_relies_on_step_reduction(self, paper_router):
+        """route() callers generate at full steps, so the shim must answer
+        for the requested budget even when decide() would cut steps."""
+        predictions = paper_router.predictions("stable-diffusion", 50)
+        slo = 0.9 * min(predictions.values())   # nothing fits at full budget
+        request = Request(model="stable-diffusion", num_steps=50,
+                          latency_slo=slo)
+        assert paper_router.route(request) == \
+            min(predictions, key=predictions.get)
+        decision = paper_router.decide(request)
+        assert decision.plan.num_steps < 50     # 2D policy still cuts steps
+
+    def test_engine_serves_and_batches_by_plan(self, text_pipeline,
+                                               paper_router):
+        pool = ModelVariantPool(builder=lambda m, s: text_pipeline)
+        engine = ServingEngine(pool, router=paper_router,
+                               config=EngineConfig(max_batch_size=8))
+        plans = [None, GenerationPlan(sampler="dpm2"),
+                 GenerationPlan(guidance_scale=2.0)]
+        requests = [Request(model="stable-diffusion", prompt=f"p{i % 2}",
+                            seed=i, num_steps=4, plan=plans[i % 3])
+                    for i in range(9)]
+        responses = engine.serve(requests)
+        assert len(responses) == 9
+        served_plans = {r.plan for r in responses}
+        assert len(served_plans) == 3  # one batch group per distinct plan
+        for response in responses:
+            assert response.plan.num_steps == 4
+            assert np.isfinite(response.image).all()
+
+        report = engine.stats.report()
+        assert set(report["plans"]) == {"ddim/4", "dpm2/4", "ddim/4@g2"}
+        for block in report["plans"].values():
+            assert block["count"] == 3
+            assert set(block["latency_s"]) == {"mean", "p50", "p95", "max"}
+            assert sum(block["by_scheme"].values()) == block["count"]
+        assert json.loads(engine.stats.to_json())["plans"]["dpm2/4"]["count"] == 3
+
+    def test_batched_matches_sequential_under_plans(self, text_pipeline,
+                                                    paper_router):
+        def make_requests():
+            return [Request(model="stable-diffusion", prompt=f"p{i % 2}",
+                            seed=100 + i, num_steps=4,
+                            plan=GenerationPlan(sampler="dpm2"))
+                    for i in range(4)]
+
+        pool = ModelVariantPool(builder=lambda m, s: text_pipeline)
+        batched = ServingEngine(pool, router=paper_router,
+                                config=EngineConfig(max_batch_size=4))
+        sequential = ServingEngine(pool, router=paper_router)
+        by_id_batched = {r.request_id: r
+                         for r in batched.serve(make_requests())}
+        by_id_seq = {r.request_id: r
+                     for r in sequential.serve_sequential(make_requests())}
+        for request_id, response in by_id_batched.items():
+            np.testing.assert_allclose(response.image,
+                                       by_id_seq[request_id].image,
+                                       atol=1e-3, rtol=1e-3)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.diffusion import DiffusionPipeline
+from repro.diffusion import DiffusionPipeline, GenerationPlan
 from repro.models import DiffusionModel
 from repro.profiling import paper_scale_stable_diffusion_config, unet_layer_costs
 from repro.serving import (
@@ -95,8 +95,8 @@ def test_request_queue_is_bounded_fifo():
 def test_batcher_groups_by_compatibility_and_fills():
     clock = FakeClock()
     batcher = DynamicBatcher(max_batch_size=2, max_wait=10.0, clock=clock)
-    key_a = BatchKey("stable-diffusion", "fp8", 4)
-    key_b = BatchKey("stable-diffusion", "fp4", 4)
+    key_a = BatchKey("stable-diffusion", "fp8", GenerationPlan(num_steps=4))
+    key_b = BatchKey("stable-diffusion", "fp4", GenerationPlan(num_steps=4))
 
     assert batcher.add(key_a, _request(seed=1)) is None
     assert batcher.add(key_b, _request(seed=2)) is None  # different scheme
@@ -111,7 +111,7 @@ def test_batcher_groups_by_compatibility_and_fills():
 def test_batcher_timeout_closes_aged_groups():
     clock = FakeClock()
     batcher = DynamicBatcher(max_batch_size=8, max_wait=1.0, clock=clock)
-    key = BatchKey("stable-diffusion", "fp8", 4)
+    key = BatchKey("stable-diffusion", "fp8", GenerationPlan(num_steps=4))
     batcher.add(key, _request(seed=1))
     clock.advance(0.5)
     assert batcher.due() == []          # not aged yet
