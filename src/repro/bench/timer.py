@@ -1,0 +1,181 @@
+"""Benchmark timer: warmup, repetition, outlier trimming, injectable clock.
+
+Timing on a shared machine is noisy in exactly one direction — a sample can
+only be *slowed down* by interference (GC pauses, scheduler preemption,
+cache pollution), never sped up.  The timer therefore runs ``warmup``
+untimed calls (JIT-free here, but they populate im2col workspaces, memoized
+dequantizations and other caches the steady state enjoys), takes ``repeats``
+timed samples, and drops the slowest ``trim_fraction`` of them before
+computing the summary statistics.  The clock is injectable so tests can
+drive the whole machinery deterministically.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Measurement:
+    """Timing samples for one workload plus their trimmed summary."""
+
+    name: str
+    samples: List[float]                 # raw per-repetition seconds
+    warmup: int
+    trim_fraction: float = 0.2
+    #: Optional per-workload annotations (plan/config fingerprints, sizes).
+    metadata: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def trimmed_samples(self) -> List[float]:
+        """Samples with the slowest ``trim_fraction`` dropped (>= 1 kept)."""
+        ordered = sorted(self.samples)
+        keep = max(1, len(ordered) - math.floor(len(ordered) * self.trim_fraction))
+        return ordered[:keep]
+
+    @property
+    def trimmed(self) -> int:
+        return len(self.samples) - len(self.trimmed_samples)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _percentile(ordered: List[float], q: float) -> float:
+        """Linear-interpolation percentile of an already-sorted list."""
+        if not ordered:
+            return 0.0
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (len(ordered) - 1) * q / 100.0
+        low = math.floor(position)
+        high = min(low + 1, len(ordered) - 1)
+        weight = position - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    @property
+    def median_s(self) -> float:
+        return self._percentile(self.trimmed_samples, 50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self._percentile(self.trimmed_samples, 95.0)
+
+    @property
+    def mean_s(self) -> float:
+        kept = self.trimmed_samples
+        return sum(kept) / len(kept) if kept else 0.0
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "median_s": self.median_s,
+            "p95_s": self.p95_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "repeats": len(self.samples),
+            "warmup": self.warmup,
+            "trimmed": self.trimmed,
+            "samples_s": list(self.samples),
+            "metadata": dict(self.metadata),
+        }
+
+
+class BenchTimer:
+    """Measures callables with warmup, repetition and outlier trimming."""
+
+    def __init__(self, warmup: int = 1, repeats: int = 7,
+                 trim_fraction: float = 0.2,
+                 clock: Callable[[], float] = time.perf_counter):
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {warmup}")
+        if not 0.0 <= trim_fraction < 1.0:
+            raise ValueError(
+                f"trim_fraction must be in [0, 1), got {trim_fraction}")
+        self.warmup = warmup
+        self.repeats = repeats
+        self.trim_fraction = trim_fraction
+        self.clock = clock
+
+    def measure(self, fn: Callable[[], object], name: str = "",
+                warmup: Optional[int] = None, repeats: Optional[int] = None,
+                metadata: Optional[Dict] = None) -> Measurement:
+        """Time ``fn`` and return its :class:`Measurement`."""
+        warmup = self.warmup if warmup is None else warmup
+        repeats = self.repeats if repeats is None else repeats
+        for _ in range(warmup):
+            fn()
+        samples: List[float] = []
+        # Collect leftovers from setup/warmup, then keep the collector out
+        # of the timed region: one workload's garbage (e.g. a graph-building
+        # reference arm) must not be charged to whichever sample the cycle
+        # collector happens to fire in.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                started = self.clock()
+                fn()
+                samples.append(self.clock() - started)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return Measurement(name=name, samples=samples, warmup=warmup,
+                           trim_fraction=self.trim_fraction,
+                           metadata=dict(metadata or {}))
+
+    def measure_pair(self, fn_a: Callable[[], object],
+                     fn_b: Callable[[], object],
+                     name_a: str = "", name_b: str = "",
+                     warmup: Optional[int] = None,
+                     repeats: Optional[int] = None,
+                     metadata_a: Optional[Dict] = None,
+                     metadata_b: Optional[Dict] = None
+                     ) -> "tuple[Measurement, Measurement]":
+        """Time two callables with interleaved samples (a, b, a, b, ...).
+
+        Machine speed drifts over seconds (frequency scaling, co-tenants);
+        two arms of a before/after comparison measured in separate
+        contiguous windows would each see *different* drift and their ratio
+        would absorb it.  Interleaving exposes both arms to the same
+        conditions, which is what makes the reported speedups stable.
+        """
+        warmup = self.warmup if warmup is None else warmup
+        repeats = self.repeats if repeats is None else repeats
+        for _ in range(warmup):
+            fn_a()
+            fn_b()
+        samples_a: List[float] = []
+        samples_b: List[float] = []
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(repeats):
+                started = self.clock()
+                fn_a()
+                samples_a.append(self.clock() - started)
+                started = self.clock()
+                fn_b()
+                samples_b.append(self.clock() - started)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        return (
+            Measurement(name=name_a, samples=samples_a, warmup=warmup,
+                        trim_fraction=self.trim_fraction,
+                        metadata=dict(metadata_a or {})),
+            Measurement(name=name_b, samples=samples_b, warmup=warmup,
+                        trim_fraction=self.trim_fraction,
+                        metadata=dict(metadata_b or {})),
+        )

@@ -92,6 +92,7 @@ from .qmodules import (
     FPTensorQuantizer,
     IdentityQuantizer,
     IntTensorQuantizer,
+    PackedIntWeight,
     PerChannelIntTensorQuantizer,
     QuantizedConv2d,
     QuantizedLinear,
@@ -161,7 +162,7 @@ __all__ = [
     # quantizer modules
     "TensorQuantizer", "IdentityQuantizer", "FPTensorQuantizer",
     "IntTensorQuantizer", "PerChannelIntTensorQuantizer",
-    "BlockFPTensorQuantizer", "QuantizedConv2d", "QuantizedLinear",
+    "BlockFPTensorQuantizer", "PackedIntWeight", "QuantizedConv2d", "QuantizedLinear",
     "QuantizedSkipConcat",
     # schemes and registry
     "QuantScheme", "IdentityScheme", "FPSearchScheme", "IntScheme",

@@ -88,12 +88,28 @@ def calibrate_int_format(values: np.ndarray, bitwidth: int) -> IntFormat:
     return IntFormat(bitwidth=bitwidth, scale=scale, zero_point=zero_point)
 
 
-def quantize_int(values: np.ndarray, fmt: IntFormat) -> np.ndarray:
-    """Simulated uniform integer quantization (quantize then dequantize)."""
+def int_levels(values: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Clipped integer grid levels of ``values`` (Eq. 4), as float64.
+
+    The single source of the rounding/clipping arithmetic: both the
+    simulated quantization below and the packed weight storage
+    (:class:`repro.core.qmodules.PackedIntWeight`) build on it, so their
+    outputs are bit-identical by construction.
+    """
     values = np.asarray(values, dtype=np.float64)
     levels = np.round(values / fmt.scale) + fmt.zero_point
-    levels = np.clip(levels, 0, fmt.num_levels - 1)
+    return np.clip(levels, 0, fmt.num_levels - 1)
+
+
+def dequantize_int_levels(levels: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Map grid levels back to their float32 values."""
+    levels = np.asarray(levels, dtype=np.float64)
     return (fmt.scale * (levels - fmt.zero_point)).astype(np.float32)
+
+
+def quantize_int(values: np.ndarray, fmt: IntFormat) -> np.ndarray:
+    """Simulated uniform integer quantization (quantize then dequantize)."""
+    return dequantize_int_levels(int_levels(values, fmt), fmt)
 
 
 def calibrate_int_format_per_channel(values: np.ndarray,
@@ -113,12 +129,12 @@ def calibrate_int_format_per_channel(values: np.ndarray,
                                zero_points=tuple(int(z) for z in zero_points))
 
 
-def quantize_int_per_channel(values: np.ndarray,
-                             fmt: PerChannelIntFormat) -> np.ndarray:
-    """Simulated per-channel uniform integer quantization along axis 0."""
+def int_levels_per_channel(values: np.ndarray,
+                           fmt: PerChannelIntFormat) -> np.ndarray:
+    """Per-channel grid levels, shaped ``(num_channels, -1)`` (float64)."""
     values = np.asarray(values, dtype=np.float64)
-    shape = values.shape
-    per_channel = values.reshape(-1, 1) if values.ndim < 2 else values.reshape(shape[0], -1)
+    per_channel = (values.reshape(-1, 1) if values.ndim < 2
+                   else values.reshape(values.shape[0], -1))
     if per_channel.shape[0] != fmt.num_channels:
         raise ValueError(
             f"tensor has {per_channel.shape[0]} channels but format was "
@@ -126,9 +142,24 @@ def quantize_int_per_channel(values: np.ndarray,
     scales = np.asarray(fmt.scales, dtype=np.float64)[:, None]
     zero_points = np.asarray(fmt.zero_points, dtype=np.float64)[:, None]
     levels = np.round(per_channel / scales) + zero_points
-    levels = np.clip(levels, 0, fmt.num_levels - 1)
-    dequantized = scales * (levels - zero_points)
-    return dequantized.reshape(shape).astype(np.float32)
+    return np.clip(levels, 0, fmt.num_levels - 1)
+
+
+def dequantize_int_levels_per_channel(levels: np.ndarray,
+                                      fmt: PerChannelIntFormat) -> np.ndarray:
+    """Map ``(num_channels, -1)`` grid levels back to float32 values."""
+    levels = np.asarray(levels, dtype=np.float64)
+    scales = np.asarray(fmt.scales, dtype=np.float64)[:, None]
+    zero_points = np.asarray(fmt.zero_points, dtype=np.float64)[:, None]
+    return (scales * (levels - zero_points)).astype(np.float32)
+
+
+def quantize_int_per_channel(values: np.ndarray,
+                             fmt: PerChannelIntFormat) -> np.ndarray:
+    """Simulated per-channel uniform integer quantization along axis 0."""
+    shape = np.asarray(values).shape
+    levels = int_levels_per_channel(values, fmt)
+    return dequantize_int_levels_per_channel(levels, fmt).reshape(shape)
 
 
 def int_quantization_mse(values: np.ndarray, bitwidth: int) -> float:

@@ -32,9 +32,114 @@ from .integer import (
     PerChannelIntFormat,
     calibrate_int_format,
     calibrate_int_format_per_channel,
+    dequantize_int_levels,
+    dequantize_int_levels_per_channel,
+    int_levels,
+    int_levels_per_channel,
     quantize_int,
     quantize_int_per_channel,
 )
+
+
+def _pack_levels(levels: np.ndarray, bitwidth: int) -> np.ndarray:
+    """Pack integer grid levels into bytes (two per byte at <= 4 bits)."""
+    flat = levels.astype(np.uint8).reshape(-1)
+    if bitwidth > 4:
+        return flat
+    if flat.size % 2:
+        flat = np.concatenate([flat, np.zeros(1, dtype=np.uint8)])
+    return (flat[0::2] | (flat[1::2] << np.uint8(4))).astype(np.uint8)
+
+
+def _unpack_levels(packed: np.ndarray, bitwidth: int, size: int) -> np.ndarray:
+    """Inverse of :func:`_pack_levels` for the first ``size`` elements."""
+    if bitwidth > 4:
+        return packed[:size]
+    levels = np.empty(packed.size * 2, dtype=np.uint8)
+    levels[0::2] = packed & np.uint8(0x0F)
+    levels[1::2] = packed >> np.uint8(4)
+    return levels[:size]
+
+
+class PackedIntWeight:
+    """Integer weight levels in packed byte storage + a memoized float form.
+
+    The levels of a uniform-integer-quantized weight tensor fit in one byte
+    each (one nibble at <= 4 bits), so this is the storage the quantized
+    layer wrappers keep and the pickled quantize-stage artifacts ship — an
+    int8 weight costs 1/4 and an int4 weight 1/8 of its float32 simulation
+    (the artifacts still carry the layer's pre-quantization
+    ``original_weight`` for the sparsity analysis, which packing cannot
+    replace).
+    :meth:`dequantize` materializes (and memoizes) the float32 grid values,
+    bit-identical to :func:`~repro.core.integer.quantize_int` /
+    :func:`~repro.core.integer.quantize_int_per_channel` of the original
+    weights, so a served variant pays the dequantization once on first
+    forward instead of re-simulating quantization per forward.  The memo is
+    dropped on pickling.
+    """
+
+    def __init__(self, packed: np.ndarray, shape, fmt):
+        self.packed = packed
+        self.shape = tuple(shape)
+        self.fmt = fmt  # IntFormat or PerChannelIntFormat
+        self._dequantized: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def bitwidth(self) -> int:
+        return self.fmt.bitwidth
+
+    @property
+    def num_elements(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed storage (excluding the transient float memo)."""
+        return int(self.packed.nbytes)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def pack(cls, values: np.ndarray, fmt) -> "PackedIntWeight":
+        """Quantize ``values`` onto ``fmt``'s grid and pack the levels.
+
+        The level arithmetic is :func:`~repro.core.integer.int_levels` /
+        its per-channel sibling — the same helpers the simulated
+        ``quantize_int*`` functions use, which is what guarantees
+        ``dequantize()`` reproduces them bit-for-bit.
+        """
+        shape = np.asarray(values).shape
+        if isinstance(fmt, PerChannelIntFormat):
+            levels = int_levels_per_channel(values, fmt)
+        else:
+            levels = int_levels(values, fmt)
+        return cls(_pack_levels(levels, fmt.bitwidth), shape, fmt)
+
+    def levels(self) -> np.ndarray:
+        """Unpacked integer levels, flattened."""
+        return _unpack_levels(self.packed, self.fmt.bitwidth, self.num_elements)
+
+    def dequantize(self) -> np.ndarray:
+        """Memoized float32 grid values of the packed levels."""
+        if self._dequantized is None:
+            levels = self.levels().astype(np.float64)
+            if isinstance(self.fmt, PerChannelIntFormat):
+                dequantized = dequantize_int_levels_per_channel(
+                    levels.reshape(self.shape[0], -1), self.fmt)
+            else:
+                dequantized = dequantize_int_levels(levels, self.fmt)
+            self._dequantized = dequantized.reshape(self.shape)
+        return self._dequantized
+
+    def drop_dequantized(self) -> None:
+        """Release the float memo (it is rebuilt on the next dequantize)."""
+        self._dequantized = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_dequantized"] = None  # ship packed bytes, not the float memo
+        return state
 
 
 class TensorQuantizer:
@@ -47,6 +152,16 @@ class TensorQuantizer:
 
     def describe(self) -> str:  # pragma: no cover
         raise NotImplementedError
+
+    def pack_weights(self, values: np.ndarray) -> Optional[PackedIntWeight]:
+        """Packed storage for a weight tensor, when the format supports it.
+
+        Returns ``None`` for formats without an integer level grid (the
+        float schemes keep their float32 simulation); integer quantizers
+        return a :class:`PackedIntWeight` whose ``dequantize()`` is
+        bit-identical to :meth:`quantize` of the same values.
+        """
+        return None
 
 
 class IdentityQuantizer(TensorQuantizer):
@@ -89,6 +204,13 @@ class IntTensorQuantizer(TensorQuantizer):
     def quantize(self, values: np.ndarray) -> np.ndarray:
         return quantize_int(values, self.fmt)
 
+    def pack_weights(self, values: np.ndarray) -> Optional[PackedIntWeight]:
+        # Levels above 8 bits do not fit the byte-packed storage; such
+        # (registry-extended) schemes keep the float32 simulation.
+        if self.fmt.bitwidth > 8:
+            return None
+        return PackedIntWeight.pack(values, self.fmt)
+
     def describe(self) -> str:
         return f"INT{self.fmt.bitwidth}(scale={self.fmt.scale:.3g})"
 
@@ -107,6 +229,11 @@ class PerChannelIntTensorQuantizer(TensorQuantizer):
 
     def quantize(self, values: np.ndarray) -> np.ndarray:
         return quantize_int_per_channel(values, self.fmt)
+
+    def pack_weights(self, values: np.ndarray) -> Optional[PackedIntWeight]:
+        if self.fmt.bitwidth > 8:
+            return None
+        return PackedIntWeight.pack(values, self.fmt)
 
     def describe(self) -> str:
         return f"INT{self.fmt.bitwidth}(per-channel x{self.fmt.num_channels})"
@@ -136,19 +263,95 @@ class BlockFPTensorQuantizer(TensorQuantizer):
                 f"blocks={self.biases.size}x{self.block_size})")
 
 
-class QuantizedConv2d(nn.Module):
+class _QuantizedLayerBase(nn.Module):
+    """Shared weight storage of the quantized Conv2d/Linear wrappers.
+
+    With integer schemes the wrapper keeps the weight as a
+    :class:`PackedIntWeight` and materializes the float32 simulation from
+    it as a memo — at quantization time, and again when an artifact is
+    unpickled (the pickle ships only the packed bytes; rebuilding in
+    ``__setstate__`` keeps ``named_parameters``/``state_dict`` complete
+    without waiting for a forward).  Float schemes keep the eager float32
+    parameter.
+    """
+
+    #: Class-level default so artifacts pickled before packed storage
+    #: existed (the run store keys inputs, not code) still unpickle — they
+    #: carry the float weight in ``_parameters`` and no packed form.
+    packed_weight: Optional[PackedIntWeight] = None
+
+    def _init_weight_storage(self, quantized_weight: np.ndarray,
+                             packed_weight: Optional[PackedIntWeight]) -> None:
+        self.packed_weight = packed_weight
+        if packed_weight is None:
+            self._parameters["weight"] = nn.Parameter(quantized_weight,
+                                                      requires_grad=False)
+        else:
+            self._parameters["weight"] = nn.Parameter(packed_weight.dequantize(),
+                                                      requires_grad=False)
+
+    @property
+    def weight(self) -> nn.Parameter:
+        param = self._parameters.get("weight")
+        if param is None:
+            param = nn.Parameter(self.packed_weight.dequantize(),
+                                 requires_grad=False)
+            self._parameters["weight"] = param
+        return param
+
+    def packed_nbytes(self) -> Optional[int]:
+        """Bytes of packed weight storage, or None for float schemes."""
+        return None if self.packed_weight is None else self.packed_weight.nbytes
+
+    def load_state_dict(self, state, prefix: str = "") -> None:
+        super().load_state_dict(state, prefix=prefix)
+        if self.packed_weight is not None and prefix + "weight" in state:
+            # The float weight is authoritative after an explicit load; if
+            # it no longer matches the packed levels, drop them so
+            # pickling/deepcopy cannot silently revert to the old weights.
+            if not np.array_equal(self._parameters["weight"].data,
+                                  self.packed_weight.dequantize()):
+                self.packed_weight = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if state.get("packed_weight") is not None:
+            # Ship the packed levels only; the float32 simulation is
+            # rebuilt from them on load.  (``original_weight`` still
+            # travels: the sparsity analysis needs the pre-quantization
+            # values, which are not recoverable from the packed grid.)
+            parameters = dict(state["_parameters"])
+            parameters.pop("weight", None)
+            state["_parameters"] = parameters
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Rebuild the weight parameter eagerly so module traversal
+        # (named_parameters / state_dict / num_parameters) sees it without
+        # requiring a first forward; ``dequantize()`` memoizes, so this is
+        # the one-time cost the packed storage was designed to pay.
+        # (.get: pre-packing pickles have no packed_weight entry at all.)
+        packed = self.__dict__.get("packed_weight")
+        if packed is not None and "weight" not in self._parameters:
+            self._parameters["weight"] = nn.Parameter(packed.dequantize(),
+                                                      requires_grad=False)
+
+
+class QuantizedConv2d(_QuantizedLayerBase):
     """Conv2d with a pre-quantized weight and on-the-fly activation quantization."""
 
     def __init__(self, original: nn.Conv2d, quantized_weight: np.ndarray,
                  activation_quantizer: TensorQuantizer,
-                 weight_quantizer: TensorQuantizer):
+                 weight_quantizer: TensorQuantizer,
+                 packed_weight: Optional[PackedIntWeight] = None):
         super().__init__()
         self.stride = original.stride
         self.padding = original.padding
         self.in_channels = original.in_channels
         self.out_channels = original.out_channels
         self.kernel_size = original.kernel_size
-        self.weight = nn.Parameter(quantized_weight, requires_grad=False)
+        self._init_weight_storage(quantized_weight, packed_weight)
         self.bias = original.bias
         self.original_weight = original.weight.data.copy()
         self.activation_quantizer = activation_quantizer
@@ -160,16 +363,17 @@ class QuantizedConv2d(nn.Module):
                         stride=self.stride, padding=self.padding)
 
 
-class QuantizedLinear(nn.Module):
+class QuantizedLinear(_QuantizedLayerBase):
     """Linear layer with a pre-quantized weight and activation quantization."""
 
     def __init__(self, original: nn.Linear, quantized_weight: np.ndarray,
                  activation_quantizer: TensorQuantizer,
-                 weight_quantizer: TensorQuantizer):
+                 weight_quantizer: TensorQuantizer,
+                 packed_weight: Optional[PackedIntWeight] = None):
         super().__init__()
         self.in_features = original.in_features
         self.out_features = original.out_features
-        self.weight = nn.Parameter(quantized_weight, requires_grad=False)
+        self._init_weight_storage(quantized_weight, packed_weight)
         self.bias = original.bias
         self.original_weight = original.weight.data.copy()
         self.activation_quantizer = activation_quantizer

@@ -252,6 +252,8 @@ class LayerQuantizationRecord:
     rounding_learning_used: bool = False
     rounding_mse_before: float = 0.0
     rounding_mse_after: float = 0.0
+    #: Bytes of packed integer weight storage (None for float schemes).
+    packed_bytes: Optional[int] = None
 
     def to_dict(self) -> Dict:
         return asdict(self)
@@ -403,13 +405,20 @@ def quantize_model(model: DiffusionModel, pipeline: DiffusionPipeline,
         activation_quantizer = activation_scheme.build_activation_quantizer(
             calibration.concatenated(path), config)
         record.activation_format = activation_quantizer.describe()
+        # Integer formats store the weight as packed levels; the float32
+        # simulation is a memo dequantized from them (bit-identical).
+        packed_weight = weight_quantizer.pack_weights(layer.weight.data)
+        if packed_weight is not None:
+            record.packed_bytes = packed_weight.nbytes
 
         if isinstance(layer, nn.Conv2d):
             wrapper = QuantizedConv2d(layer, quantized_weight,
-                                      activation_quantizer, weight_quantizer)
+                                      activation_quantizer, weight_quantizer,
+                                      packed_weight=packed_weight)
         else:
             wrapper = QuantizedLinear(layer, quantized_weight,
-                                      activation_quantizer, weight_quantizer)
+                                      activation_quantizer, weight_quantizer,
+                                      packed_weight=packed_weight)
         unet.set_submodule(path, wrapper)
         report.layers.append(record)
 

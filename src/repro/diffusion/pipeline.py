@@ -26,7 +26,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..models import DiffusionModel, ModelSpec
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, inference_mode
 from .plan import DEFAULT_PLAN, GenerationPlan
 from .schedule import NoiseSchedule
 
@@ -74,13 +74,13 @@ class DiffusionPipeline:
     def encode_prompts(self, prompts: Sequence[str]) -> Tensor:
         if self.model.text_encoder is None:
             raise ValueError(f"model '{self.spec.name}' is not a text-to-image model")
-        with no_grad():
+        with inference_mode():
             return self.model.text_encoder.encode_prompts(prompts)
 
     def decode_latents(self, latents: np.ndarray) -> np.ndarray:
         if self.model.autoencoder is None:
             return np.clip(latents, -1.0, 1.0)
-        with no_grad():
+        with inference_mode():
             images = self.model.autoencoder.decode(Tensor(latents))
         return images.data
 

@@ -43,7 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, inference_mode
 from .schedule import NoiseSchedule
 
 TraceFn = Callable[[int, np.ndarray], None]
@@ -64,6 +64,36 @@ def _resolve_initial_noise(shape, rng: np.random.Generator,
     if initial_noise is not None:
         return np.asarray(initial_noise, dtype=np.float32).reshape(shape)
     return rng.standard_normal(shape).astype(np.float32)
+
+
+class _StepBuffers:
+    """Preallocated per-trajectory scratch arrays for the sampler loops.
+
+    Every denoising update is a handful of elementwise operations whose
+    temporaries numpy promotes to float64 (the schedule scalars are float64).
+    Allocating them per step dominates the loop's non-model cost, so each
+    ``sample()`` call owns two float64 work buffers plus one float32 output
+    buffer and the updates run through ``out=`` ufuncs.  The operation order
+    and dtypes mirror the expression forms exactly, so trajectories stay
+    bit-identical to the unbuffered spelling.
+
+    ``trace`` callbacks receive a *copy* of the latent: the live ``x`` buffer
+    is overwritten by the next step.
+    """
+
+    __slots__ = ("work1", "work2", "out")
+
+    def __init__(self, shape):
+        self.work1 = np.empty(shape, dtype=np.float64)
+        self.work2 = np.empty(shape, dtype=np.float64)
+        self.out = np.empty(shape, dtype=np.float32)
+
+    def finish(self, trace: Optional[TraceFn], t: int) -> np.ndarray:
+        """Cast work1 into the float32 output and run the trace callback."""
+        np.copyto(self.out, self.work1)
+        if trace is not None:
+            trace(t, self.out.copy())
+        return self.out
 
 
 # ----------------------------------------------------------------------
@@ -115,22 +145,24 @@ class DDPMSampler:
         """
         schedule = self.schedule
         x = _resolve_initial_noise(shape, rng, initial_noise)
-        with no_grad():
+        buffers = _StepBuffers(shape)
+        work = buffers.work1
+        with inference_mode():
             for t in reversed(range(schedule.num_timesteps)):
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha = schedule.alphas[t]
                 alpha_bar = schedule.alphas_bar[t]
                 beta = schedule.betas[t]
-                mean = (x - beta / np.sqrt(1.0 - alpha_bar) * eps) / np.sqrt(alpha)
+                # mean = (x - beta / sqrt(1 - alpha_bar) * eps) / sqrt(alpha)
+                np.multiply(eps, beta / np.sqrt(1.0 - alpha_bar), out=work)
+                np.subtract(x, work, out=work)
+                np.divide(work, np.sqrt(alpha), out=work)
                 if t > 0:
                     noise = rng.standard_normal(shape).astype(np.float32)
-                    x = mean + np.sqrt(beta) * noise
-                else:
-                    x = mean
-                x = x.astype(np.float32)
-                if trace is not None:
-                    trace(t, x)
+                    np.multiply(noise, np.sqrt(beta), out=buffers.work2)
+                    np.add(work, buffers.work2, out=work)
+                x = buffers.finish(trace, t)
         return x
 
 
@@ -202,24 +234,33 @@ class DDIMSampler:
         schedule = self.schedule
         x = _resolve_initial_noise(shape, rng, initial_noise)
         timesteps = self.timesteps
-        with no_grad():
+        buffers = _StepBuffers(shape)
+        work, work2 = buffers.work1, buffers.work2
+        with inference_mode():
             for index, t in enumerate(timesteps):
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
                 prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
                 alpha_bar_prev = schedule.alphas_bar[prev_t] if prev_t >= 0 else 1.0
-                x0_pred = _predict_x0(x, eps, alpha_bar)
                 sigma = self.eta * np.sqrt(
                     (1.0 - alpha_bar_prev) / (1.0 - alpha_bar)
                     * (1.0 - alpha_bar / alpha_bar_prev))
-                direction = np.sqrt(max(1.0 - alpha_bar_prev - sigma ** 2, 0.0)) * eps
-                x = np.sqrt(alpha_bar_prev) * x0_pred + direction
+                # x0_pred = (x - sqrt(1 - alpha_bar) * eps) / sqrt(alpha_bar)
+                np.multiply(eps, np.sqrt(1.0 - alpha_bar), out=work)
+                np.subtract(x, work, out=work)
+                np.divide(work, np.sqrt(alpha_bar), out=work)
+                # x = sqrt(alpha_bar_prev) * x0_pred + direction
+                np.multiply(eps,
+                            np.sqrt(max(1.0 - alpha_bar_prev - sigma ** 2, 0.0)),
+                            out=work2)
+                np.multiply(work, np.sqrt(alpha_bar_prev), out=work)
+                np.add(work, work2, out=work)
                 if sigma > 0:
-                    x = x + sigma * rng.standard_normal(shape).astype(np.float32)
-                x = x.astype(np.float32)
-                if trace is not None:
-                    trace(t, x)
+                    noise = rng.standard_normal(shape).astype(np.float32)
+                    np.multiply(noise, sigma, out=work2)
+                    np.add(work, work2, out=work)
+                x = buffers.finish(trace, t)
         return x
 
 
@@ -229,6 +270,25 @@ def _ddim_step(x: np.ndarray, eps: np.ndarray, alpha_bar: float,
     x0_pred = _predict_x0(x, eps, alpha_bar)
     direction = np.sqrt(max(1.0 - alpha_bar_prev, 0.0)) * eps
     return (np.sqrt(alpha_bar_prev) * x0_pred + direction).astype(np.float32)
+
+
+def _ddim_step_into(x: np.ndarray, eps: np.ndarray, alpha_bar: float,
+                    alpha_bar_prev: float, buffers: _StepBuffers,
+                    out: np.ndarray) -> np.ndarray:
+    """Buffer-reusing :func:`_ddim_step`; bit-identical, writes into ``out``.
+
+    ``out`` may alias ``x``: every read of ``x`` happens before the final
+    cast into ``out``.
+    """
+    work, work2 = buffers.work1, buffers.work2
+    np.multiply(eps, np.sqrt(1.0 - alpha_bar), out=work)
+    np.subtract(x, work, out=work)
+    np.divide(work, np.sqrt(alpha_bar), out=work)
+    np.multiply(eps, np.sqrt(max(1.0 - alpha_bar_prev, 0.0)), out=work2)
+    np.multiply(work, np.sqrt(alpha_bar_prev), out=work)
+    np.add(work, work2, out=work)
+    np.copyto(out, work)
+    return out
 
 
 class DPMSolver2Sampler:
@@ -257,23 +317,31 @@ class DPMSolver2Sampler:
         schedule = self.schedule
         x = _resolve_initial_noise(shape, rng, initial_noise)
         timesteps = self.timesteps
-        with no_grad():
+        buffers = _StepBuffers(shape)
+        midpoint = np.empty(shape, dtype=np.float32)
+        eps_avg = np.empty(shape, dtype=np.float32)
+        with inference_mode():
             for index, t in enumerate(timesteps):
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
                 prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
                 if prev_t < 0:
-                    x = _ddim_step(x, eps, alpha_bar, 1.0)
+                    x = _ddim_step_into(x, eps, alpha_bar, 1.0, buffers,
+                                        buffers.out)
                 else:
                     alpha_bar_prev = schedule.alphas_bar[prev_t]
-                    midpoint = _ddim_step(x, eps, alpha_bar, alpha_bar_prev)
+                    _ddim_step_into(x, eps, alpha_bar, alpha_bar_prev, buffers,
+                                    midpoint)
                     prev_batch = np.full((shape[0],), prev_t, dtype=np.int64)
                     eps_prev = _predict_noise(model, midpoint, prev_batch, context)
-                    eps_avg = (0.5 * (eps + eps_prev)).astype(np.float32)
-                    x = _ddim_step(x, eps_avg, alpha_bar, alpha_bar_prev)
+                    # eps_avg = 0.5 * (eps + eps_prev)
+                    np.add(eps, eps_prev, out=eps_avg)
+                    np.multiply(eps_avg, 0.5, out=eps_avg)
+                    x = _ddim_step_into(x, eps_avg, alpha_bar, alpha_bar_prev,
+                                        buffers, buffers.out)
                 if trace is not None:
-                    trace(t, x)
+                    trace(t, x.copy())
         return x
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..tensor import Tensor
 from ..tensor import functional as F
+from ..tensor.tensor import _no_graph
 from . import init
 from .module import Module, Parameter
 
@@ -98,6 +99,20 @@ class GroupNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         n, c, h, w = x.shape
+        if _no_graph(x, self.weight, self.bias):
+            # Graph-free fast path: same operations in the same order and
+            # dtypes as the autograd spelling below, minus the per-op
+            # Tensor wrapping — bit-identical outputs.
+            grouped = x.data.reshape(n, self.num_groups, c // self.num_groups * h * w)
+            inv_count = np.float32(1.0 / grouped.shape[2])
+            mean = grouped.sum(axis=2, keepdims=True) * inv_count
+            centered = grouped - mean
+            var = (centered * centered).sum(axis=2, keepdims=True) * inv_count
+            normed = centered / np.sqrt(var + np.float32(self.eps))
+            normed = normed.reshape(n, c, h, w)
+            out = (normed * self.weight.data.reshape(1, c, 1, 1)
+                   + self.bias.data.reshape(1, c, 1, 1))
+            return Tensor._from_data(out)
         grouped = x.reshape(n, self.num_groups, c // self.num_groups * h * w)
         mean = grouped.mean(axis=2, keepdims=True)
         var = grouped.var(axis=2, keepdims=True)
@@ -119,6 +134,14 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if _no_graph(x, self.weight, self.bias):
+            # Mirrors the autograd spelling below, bit-identically.
+            inv_count = np.float32(1.0 / x.shape[-1])
+            mean = x.data.sum(axis=-1, keepdims=True) * inv_count
+            centered = x.data - mean
+            var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+            normed = centered / np.sqrt(var + np.float32(self.eps))
+            return Tensor._from_data(normed * self.weight.data + self.bias.data)
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normed = (x - mean) / (var + self.eps).sqrt()

@@ -23,10 +23,13 @@ Components (one module each):
 * :mod:`~repro.serving.engine` — the orchestrating engine (lifecycle:
   queue → route → batch → variant pool → generate → stats);
 * :mod:`~repro.serving.loadgen` — deterministic workload generation and
-  the load benchmark entry point.
+  the load benchmark entry point;
+* :mod:`~repro.serving.clock` — virtual time for deterministic tests and
+  benchmarks of the timing-sensitive components.
 """
 
 from .batcher import Batch, BatchKey, DynamicBatcher
+from .clock import VirtualClock
 from .embedding_cache import EmbeddingCache
 from .engine import EngineConfig, ServingEngine
 from .loadgen import (
@@ -57,4 +60,5 @@ __all__ = [
     "ServingEngine", "EngineConfig",
     "WorkloadConfig", "generate_workload", "run_load_benchmark",
     "slo_for_tier", "SLO_TIERS",
+    "VirtualClock",
 ]

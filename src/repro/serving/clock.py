@@ -1,0 +1,33 @@
+"""Virtual time for deterministic serving tests and benchmarks.
+
+The engine and the batcher take an injectable ``clock`` callable precisely
+so that timeout semantics and throughput arithmetic can be driven without
+sleeping or measuring a loaded machine.  :class:`VirtualClock` is that
+drive: it only moves when told to, so a test models each generation pass
+with a deterministic cost (e.g. from the roofline model) and the resulting
+throughput/speedup numbers are exact functions of the batching policy —
+never of CI scheduling noise.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A manually-advanced clock, drop-in for ``time.monotonic``."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (never backward); returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by {seconds}; time is monotonic")
+        self._now += float(seconds)
+        return self._now

@@ -1,6 +1,15 @@
 """numpy-backed tensor and autograd engine used throughout the reproduction."""
 
-from .tensor import Tensor, concatenate, stack, where, no_grad, is_grad_enabled
+from .tensor import (
+    Tensor,
+    concatenate,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    no_grad,
+    stack,
+    where,
+)
 from . import functional
 
 __all__ = [
@@ -9,6 +18,8 @@ __all__ = [
     "stack",
     "where",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "functional",
 ]

@@ -3,19 +3,64 @@
 These are implemented on top of the :class:`repro.tensor.Tensor` autograd
 primitives so that both the diffusion models and the rounding-learning
 optimization of the quantizer can differentiate through them.
+
+The convolution is the dominant cost of every U-Net forward, and its im2col
+lowering is also the dominant *allocation*: one padded image plus one patch
+matrix per call.  When a convolution is not going to join an autograd graph
+(inference mode, ``no_grad``, or simply no input requiring gradients) those
+two scratch arrays are drawn from a small per-thread workspace cache keyed by
+shape, so repeated forwards — every denoising step of every sampler pass —
+reuse the same buffers instead of re-allocating them.  Graph-building calls
+never use the cache: their backward closures retain the patch matrix, which
+must therefore stay privately owned.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
+
+#: Per-thread workspace cache (thread-local: the parallel experiment runner
+#: forwards independent models on worker threads).  Bounded so long-running
+#: servers that touch many distinct shapes cannot grow it without limit.
+_WORKSPACES = threading.local()
+_WORKSPACE_LIMIT = 64
+
+
+def _workspace(key: tuple, shape: tuple, dtype, zero: bool = False) -> np.ndarray:
+    """Return a cached scratch array for ``key``, (re)allocating on mismatch."""
+    cache = getattr(_WORKSPACES, "arrays", None)
+    if cache is None:
+        cache = OrderedDict()
+        _WORKSPACES.arrays = cache
+    array = cache.get(key)
+    if array is None or array.shape != shape or array.dtype != dtype:
+        array = np.zeros(shape, dtype=dtype) if zero else np.empty(shape, dtype=dtype)
+        cache[key] = array
+        while len(cache) > _WORKSPACE_LIMIT:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return array
+
+
+def clear_workspaces() -> None:
+    """Drop this thread's cached im2col workspaces (frees their memory)."""
+    _WORKSPACES.arrays = OrderedDict()
+
+
+def workspace_count() -> int:
+    """Number of live workspace buffers on this thread (for tests/metrics)."""
+    return len(getattr(_WORKSPACES, "arrays", ()))
 
 
 def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
-            padding: int) -> Tuple[np.ndarray, Tuple[int, int]]:
+            padding: int, reuse: bool = False) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Rearrange image patches into columns for convolution as a matmul.
 
     Parameters
@@ -24,6 +69,10 @@ def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
         Input of shape ``(N, C, H, W)``.
     kernel:
         Spatial kernel size ``(kh, kw)``.
+    reuse:
+        Draw the padded image and the column matrix from the per-thread
+        workspace cache.  Only safe when the caller does not retain ``cols``
+        beyond the current operation (i.e. builds no backward closure).
 
     Returns
     -------
@@ -35,7 +84,16 @@ def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
     n, c, h, w = x.shape
     kh, kw = kernel
     if padding:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        if reuse:
+            # The workspace is zero-initialized once; the borders stay zero
+            # because only the interior is ever written.
+            padded = _workspace(("pad", n, c, h, w, padding, x.dtype.str),
+                                (n, c, h + 2 * padding, w + 2 * padding),
+                                x.dtype, zero=True)
+            padded[:, :, padding:padding + h, padding:padding + w] = x
+            x = padded
+        else:
+            x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     ph, pw = x.shape[2], x.shape[3]
     out_h = (ph - kh) // stride + 1
     out_w = (pw - kw) // stride + 1
@@ -48,7 +106,13 @@ def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
                  strides[3] * stride, strides[2], strides[3]),
         writeable=False,
     )
-    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n, out_h * out_w, c * kh * kw)
+    patches = view.transpose(0, 2, 3, 1, 4, 5)
+    if reuse:
+        cols = _workspace(("cols", n, out_h, out_w, c, kh, kw, x.dtype.str),
+                          (n, out_h * out_w, c * kh * kw), x.dtype)
+        np.copyto(cols.reshape(n, out_h, out_w, c, kh, kw), patches)
+        return cols, (out_h, out_w)
+    cols = patches.reshape(n, out_h * out_w, c * kh * kw)
     return np.ascontiguousarray(cols), (out_h, out_w)
 
 
@@ -78,17 +142,33 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     ``x`` has shape ``(N, C_in, H, W)`` and ``weight`` has shape
     ``(C_out, C_in, kh, kw)``.  Implemented with im2col so the heavy lifting
     is a single matmul, which keeps the pure-Python overhead manageable.
+    Graph-free calls (inference/no-grad) additionally run the im2col and the
+    matmul inside cached per-thread workspaces.
     """
     n, c_in, h, w = x.shape
     c_out, _, kh, kw = weight.shape
-    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding)
+    parents = [x, weight] if bias is None else [x, weight, bias]
+    track = is_grad_enabled() and any(p.requires_grad for p in parents)
+    cols, (out_h, out_w) = _im2col(x.data, (kh, kw), stride, padding,
+                                   reuse=not track)
     w_mat = weight.data.reshape(c_out, -1)
+
+    if not track:
+        gemm = _workspace(("gemm", n, out_h * out_w, c_out, cols.dtype.str),
+                          (n, out_h * out_w, c_out), cols.dtype)
+        np.matmul(cols, w_mat.T, out=gemm)
+        if bias is not None:
+            np.add(gemm, bias.data.reshape(1, 1, c_out), out=gemm)
+        # ascontiguousarray forces a copy out of the workspace (the plain
+        # transpose+reshape would alias it), so the returned tensor owns its
+        # data and the workspace is free for the next call.
+        out = np.ascontiguousarray(gemm.transpose(0, 2, 1))
+        return Tensor._from_data(out.reshape(n, c_out, out_h, out_w))
+
     out = cols @ w_mat.T  # (N, L, C_out)
     if bias is not None:
         out = out + bias.data.reshape(1, 1, c_out)
     out = out.transpose(0, 2, 1).reshape(n, c_out, out_h, out_w)
-
-    parents = [x, weight] if bias is None else [x, weight, bias]
 
     def backward(grad):
         grad_mat = grad.reshape(n, c_out, out_h * out_w).transpose(0, 2, 1)
@@ -102,7 +182,7 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
             grad_x = _col2im(grad_cols, x.shape, (kh, kw), stride, padding)
             x._accumulate(grad_x)
 
-    return Tensor._make(out, parents, backward)
+    return Tensor._wire(out, parents, backward)
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:

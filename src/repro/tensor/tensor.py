@@ -10,6 +10,25 @@ Only the operations actually needed by the reproduction are implemented, but
 they cover the usual deep-learning vocabulary: broadcast arithmetic, matmul,
 reductions, activations, reshaping, indexing, concatenation and clipping.
 Convolution and attention primitives live in :mod:`repro.tensor.functional`.
+
+Grad modes
+----------
+
+Two context managers control how much autograd machinery an operation pays:
+
+* :func:`no_grad` disables gradient *tracking*: results come out with
+  ``requires_grad=False`` and no graph is recorded.
+* :func:`inference_mode` is stricter: in addition to disabling tracking it
+  promises that nothing produced inside will ever join an autograd graph,
+  which lets every operation take the allocation-free fast path (no backward
+  closure, no parent tuple) and lets :mod:`repro.tensor.functional` reuse
+  cached im2col workspaces.  Calling :meth:`Tensor.backward` inside
+  inference mode raises.
+
+Every operation short-circuits graph construction whenever the result cannot
+require gradients (grad disabled, or no input requires them), so the hot
+inference paths — samplers, serving, calibration forward passes — never
+allocate backward closures at all.
 """
 
 from __future__ import annotations
@@ -40,9 +59,45 @@ def no_grad():
         _GRAD_STATE.enabled = previous
 
 
+@contextlib.contextmanager
+def inference_mode():
+    """Disable gradient tracking *and* every autograd allocation.
+
+    Stricter than :func:`no_grad`: inside the block ``backward()`` raises,
+    tensors cannot be created with ``requires_grad=True``, and operations
+    skip backward-closure construction entirely.  Use it on inference-only
+    paths (sampling, serving, calibration forward passes) where nothing will
+    ever need a gradient.
+    """
+    prev_enabled = is_grad_enabled()
+    prev_inference = is_inference_mode()
+    _GRAD_STATE.enabled = False
+    _GRAD_STATE.inference = True
+    try:
+        yield
+    finally:
+        _GRAD_STATE.enabled = prev_enabled
+        _GRAD_STATE.inference = prev_inference
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
     return getattr(_GRAD_STATE, "enabled", True)
+
+
+def is_inference_mode() -> bool:
+    """Return whether the strict inference fast path is active."""
+    return getattr(_GRAD_STATE, "inference", False)
+
+
+def _no_graph(*parents: "Tensor") -> bool:
+    """Whether an op over ``parents`` can skip graph construction entirely."""
+    if not getattr(_GRAD_STATE, "enabled", True):
+        return True
+    for parent in parents:
+        if parent.requires_grad:
+            return False
+    return True
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -138,14 +193,39 @@ class Tensor:
     # graph machinery
     # ------------------------------------------------------------------
     @staticmethod
-    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
-        """Create a result tensor and wire it into the autograd graph."""
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._parents = tuple(parents)
-            out._backward = backward
+    def _from_data(data) -> "Tensor":
+        """Fast constructor for graph-free results (the inference path)."""
+        out = object.__new__(Tensor)
+        out.data = np.asarray(data, dtype=np.float32)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out.name = None
         return out
+
+    @staticmethod
+    def _wire(data, parents: Sequence["Tensor"], backward) -> "Tensor":
+        """Create a gradient-tracking result wired into the autograd graph."""
+        out = Tensor._from_data(data)
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._backward = backward
+        return out
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward) -> "Tensor":
+        """Create a result tensor and wire it into the autograd graph.
+
+        Kept as the compatibility entry point for operations (e.g. in
+        :mod:`repro.tensor.functional`) that build the backward closure
+        before knowing whether the result needs one; operations defined in
+        this module check :func:`_no_graph` first and skip closure
+        construction entirely on the fast path.
+        """
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            return Tensor._wire(data, parents, backward)
+        return Tensor._from_data(data)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if not self.requires_grad:
@@ -165,18 +245,14 @@ class Tensor:
         ``grad`` defaults to ones, which is the usual convention when the
         tensor is a scalar loss.
         """
+        if is_inference_mode():
+            raise RuntimeError(
+                "backward() is not allowed inside inference_mode(); use "
+                "no_grad() if downstream code still differentiates")
         if grad is None:
             grad = np.ones_like(self.data)
         topo: list[Tensor] = []
         visited: set[int] = set()
-
-        def build(node: "Tensor") -> None:
-            if id(node) in visited or not node.requires_grad:
-                return
-            visited.add(id(node))
-            for parent in node._parents:
-                build(parent)
-            topo.append(node)
 
         # Iterative topological sort to avoid recursion limits on deep graphs.
         stack = [(self, False)]
@@ -204,30 +280,37 @@ class Tensor:
     def __add__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
         data = self.data + other_t.data
+        if _no_graph(self, other_t):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad, self.shape))
             other_t._accumulate(_unbroadcast(grad, other_t.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._wire(data, (self, other_t), backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if _no_graph(self):
+            return Tensor._from_data(-self.data)
+
         def backward(grad):
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._wire(-self.data, (self,), backward)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
         data = self.data - other_t.data
+        if _no_graph(self, other_t):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad, self.shape))
             other_t._accumulate(_unbroadcast(-grad, other_t.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._wire(data, (self, other_t), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(_as_array(other)) - self
@@ -235,25 +318,29 @@ class Tensor:
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
         data = self.data * other_t.data
+        if _no_graph(self, other_t):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad * other_t.data, self.shape))
             other_t._accumulate(_unbroadcast(grad * self.data, other_t.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._wire(data, (self, other_t), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
         data = self.data / other_t.data
+        if _no_graph(self, other_t):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad / other_t.data, self.shape))
             other_t._accumulate(
                 _unbroadcast(-grad * self.data / (other_t.data ** 2), other_t.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._wire(data, (self, other_t), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(_as_array(other)) / self
@@ -261,11 +348,13 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         exponent = float(exponent)
         data = self.data ** exponent
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -274,6 +363,8 @@ class Tensor:
         """Matrix multiplication supporting 2-D and batched (>2-D) operands."""
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
         data = self.data @ other_t.data
+        if _no_graph(self, other_t):
+            return Tensor._from_data(data)
 
         def backward(grad):
             a, b = self.data, other_t.data
@@ -282,76 +373,92 @@ class Tensor:
             self._accumulate(_unbroadcast(grad_a, a.shape))
             other_t._accumulate(_unbroadcast(grad_b, b.shape))
 
-        return Tensor._make(data, (self, other_t), backward)
+        return Tensor._wire(data, (self, other_t), backward)
 
     # ------------------------------------------------------------------
     # elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
         data = np.exp(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * data)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def log(self) -> "Tensor":
         data = np.log(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad / self.data)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         data = np.sqrt(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def abs(self) -> "Tensor":
         data = np.abs(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         data = 1.0 / (1.0 + np.exp(-self.data))
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * data * (1.0 - data))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         data = np.tanh(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * (1.0 - data ** 2))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def relu(self) -> "Tensor":
         data = np.maximum(self.data, 0.0)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * (self.data > 0.0))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def silu(self) -> "Tensor":
         """SiLU / swish activation, ``x * sigmoid(x)`` (used throughout U-Nets)."""
         sig = 1.0 / (1.0 + np.exp(-self.data))
         data = self.data * sig
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * (sig + self.data * sig * (1.0 - sig)))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
@@ -360,49 +467,59 @@ class Tensor:
         inner = c * (x + 0.044715 * x ** 3)
         t = np.tanh(inner)
         data = 0.5 * x * (1.0 + t)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             dinner = c * (1.0 + 3 * 0.044715 * x ** 2)
             dt = (1.0 - t ** 2) * dinner
             self._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def clip(self, minimum: float, maximum: float) -> "Tensor":
         """Element-wise clamp; the gradient is passed where values are inside."""
         data = np.clip(self.data, minimum, maximum)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             inside = (self.data >= minimum) & (self.data <= maximum)
             self._accumulate(grad * inside)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     clamp = clip
 
     def floor(self) -> "Tensor":
         """Floor with a zero gradient (used only on detached quantities)."""
         data = np.floor(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(np.zeros_like(self.data))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def round(self) -> "Tensor":
         """Round-to-nearest with a straight-through gradient estimator."""
         data = np.round(self.data)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             grad = np.asarray(grad)
@@ -416,14 +533,16 @@ class Tensor:
                 expanded = np.broadcast_to(grad, self.shape)
             self._accumulate(expanded)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
             count = self.size
         else:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+            count = 1
+            for a in axes:
+                count *= self.shape[a % self.ndim]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -434,6 +553,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.max(axis=axis, keepdims=keepdims)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             grad = np.asarray(grad)
@@ -447,18 +568,20 @@ class Tensor:
                 counts = mask.sum(axis=axis, keepdims=True)
                 self._accumulate(mask * g / np.maximum(counts, 1))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         data = exp / exp.sum(axis=axis, keepdims=True)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             dot = (grad * data).sum(axis=axis, keepdims=True)
             self._accumulate(data * (grad - dot))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # shape manipulation
@@ -467,11 +590,13 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         data = self.data.reshape(shape)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad.reshape(self.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def flatten(self, start_dim: int = 0) -> "Tensor":
         new_shape = self.shape[:start_dim] + (-1,)
@@ -483,12 +608,14 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
         data = self.data.transpose(axes)
+        if _no_graph(self):
+            return Tensor._from_data(data)
         inverse = np.argsort(axes)
 
         def backward(grad):
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     permute = transpose
 
@@ -499,32 +626,38 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             full = np.zeros_like(self.data)
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def pad(self, pad_width) -> "Tensor":
         """Zero padding; ``pad_width`` follows ``numpy.pad`` conventions."""
         data = np.pad(self.data, pad_width)
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             slices = tuple(slice(before, before + size)
                            for (before, _), size in zip(pad_width, self.shape))
             self._accumulate(grad[slices])
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     def broadcast_to(self, shape) -> "Tensor":
         data = np.broadcast_to(self.data, shape).copy()
+        if _no_graph(self):
+            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(_unbroadcast(grad, self.shape))
 
-        return Tensor._make(data, (self,), backward)
+        return Tensor._wire(data, (self,), backward)
 
     # ------------------------------------------------------------------
     # constructors
@@ -553,6 +686,8 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing back to each."""
     tensors = list(tensors)
     data = np.concatenate([t.data for t in tensors], axis=axis)
+    if _no_graph(*tensors):
+        return Tensor._from_data(data)
     sizes = [t.shape[axis] for t in tensors]
 
     def backward(grad):
@@ -563,20 +698,22 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(grad[tuple(slicer)])
             start += size
 
-    return Tensor._make(data, tensors, backward)
+    return Tensor._wire(data, tensors, backward)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
     tensors = list(tensors)
     data = np.stack([t.data for t in tensors], axis=axis)
+    if _no_graph(*tensors):
+        return Tensor._from_data(data)
 
     def backward(grad):
         moved = np.moveaxis(grad, axis, 0)
         for tensor, piece in zip(tensors, moved):
             tensor._accumulate(piece)
 
-    return Tensor._make(data, tensors, backward)
+    return Tensor._wire(data, tensors, backward)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -585,9 +722,11 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     a = a if isinstance(a, Tensor) else Tensor(_as_array(a))
     b = b if isinstance(b, Tensor) else Tensor(_as_array(b))
     data = np.where(condition, a.data, b.data)
+    if _no_graph(a, b):
+        return Tensor._from_data(data)
 
     def backward(grad):
         a._accumulate(_unbroadcast(grad * condition, a.shape))
         b._accumulate(_unbroadcast(grad * (~condition), b.shape))
 
-    return Tensor._make(data, (a, b), backward)
+    return Tensor._wire(data, (a, b), backward)
