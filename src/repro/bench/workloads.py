@@ -504,3 +504,31 @@ def _setup_serving():
 
 register_workload("serving.throughput", _setup_serving, suites=_MACRO,
                   repeats=5)
+
+
+# ----------------------------------------------------------------------
+# cluster simulator throughput (events/second of the discrete-event loop)
+# ----------------------------------------------------------------------
+def _setup_cluster_sim():
+    from ..serving.cluster import (
+        ClusterConfig,
+        ClusterSimulation,
+        TraceConfig,
+        generate_trace,
+    )
+
+    trace = generate_trace(TraceConfig(num_requests=2000, seed=13))
+
+    def run():
+        report = ClusterSimulation(
+            ClusterConfig(initial_replicas=3, policy="affinity")).run(trace)
+        if report["requests"]["offered"] != 2000:
+            raise AssertionError("cluster sim dropped arrivals")
+        return report
+
+    return run, {"num_requests": len(trace), "replicas": 3,
+                 "policy": "affinity"}
+
+
+register_workload("cluster.sim", _setup_cluster_sim, suites=_MACRO,
+                  repeats=5)

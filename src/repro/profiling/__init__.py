@@ -6,6 +6,7 @@ from .cost_model import (
     BYTES_FP8,
     BYTES_FP4,
     LayerCost,
+    estimate_utilization,
     plan_model_evals,
     scheme_bytes_per_element,
     flops_by_kind,
@@ -32,7 +33,7 @@ __all__ = [
     "LayerCost", "unet_layer_costs", "total_flops", "total_weight_elements",
     "flops_by_kind", "paper_scale_stable_diffusion_config",
     "BYTES_FP32", "BYTES_FP16", "BYTES_FP8", "BYTES_FP4",
-    "scheme_bytes_per_element", "plan_model_evals",
+    "scheme_bytes_per_element", "plan_model_evals", "estimate_utilization",
     "DeviceProfile", "GPU_V100", "CPU_XEON", "DEVICE_PROFILES",
     "estimate_latency", "estimate_scheme_latency", "estimate_plan_latency",
     "latency_breakdown", "normalized_breakdown",

@@ -258,6 +258,34 @@ def plan_model_evals(num_steps: int, guidance_scale: float = 1.0,
     return evals
 
 
+def estimate_utilization(arrival_rate: float, seconds_per_request: float,
+                         replicas: int = 1) -> float:
+    """Offered-load utilization of a replica group: ``rho = lambda * S / N``.
+
+    ``arrival_rate`` is requests per second, ``seconds_per_request`` the
+    modeled service time of one request (e.g. the roofline trajectory
+    latency amortized over the expected batch size) and ``replicas`` the
+    number of active servers.  Values above ~1 mean the offered load
+    exceeds capacity and queues grow without bound; an autoscaler solves
+    the inverse problem — the replica count that brings ``rho`` down to
+    its target — via::
+
+        desired = ceil(arrival_rate * seconds_per_request / target_rho)
+
+    This is the cost-model-side utilization signal the cluster autoscaler
+    combines with observed queue depth, so scaling decisions stay exact
+    functions of the analytic model rather than of measured wall time.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if seconds_per_request < 0:
+        raise ValueError(
+            f"seconds_per_request must be >= 0, got {seconds_per_request}")
+    return arrival_rate * seconds_per_request / replicas
+
+
 def total_flops(costs: List[LayerCost]) -> float:
     return float(sum(cost.flops for cost in costs))
 

@@ -38,6 +38,7 @@ from .loadgen import (
     generate_workload,
     run_load_benchmark,
     slo_for_tier,
+    zipf_weights,
 )
 from .pool import ModelVariantPool, variant_cost_bytes
 from .request import QueueFullError, Request, RequestQueue, Response
@@ -47,7 +48,12 @@ from .router import (
     RoutingDecision,
     SLORouter,
 )
-from .stats import BatchRecord, RequestRecord, ServingStats
+from .stats import (
+    BatchRecord,
+    RequestRecord,
+    ServingStats,
+    percentile_summary,
+)
 
 __all__ = [
     "Request", "Response", "RequestQueue", "QueueFullError",
@@ -59,6 +65,7 @@ __all__ = [
     "ServingStats", "RequestRecord", "BatchRecord",
     "ServingEngine", "EngineConfig",
     "WorkloadConfig", "generate_workload", "run_load_benchmark",
-    "slo_for_tier", "SLO_TIERS",
+    "slo_for_tier", "SLO_TIERS", "zipf_weights",
+    "percentile_summary",
     "VirtualClock",
 ]

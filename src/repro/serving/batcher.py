@@ -100,6 +100,18 @@ class DynamicBatcher:
             return self._close(key)
         return None
 
+    def next_due_at(self) -> Optional[float]:
+        """Clock time when the oldest pending group ages out (None if empty).
+
+        Event-driven callers (the cluster simulator) schedule one timer at
+        this instant instead of polling :meth:`due`; at that time ``due()``
+        is guaranteed to close at least the oldest group.
+        """
+        if not self._pending:
+            return None
+        return (min(group.opened_at for group in self._pending.values())
+                + self.max_wait)
+
     def due(self) -> List[Batch]:
         """Close every group whose oldest request has waited ``max_wait``."""
         now = self.clock()

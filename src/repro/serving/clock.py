@@ -31,3 +31,16 @@ class VirtualClock:
             raise ValueError(f"cannot advance by {seconds}; time is monotonic")
         self._now += float(seconds)
         return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute time (never backward); returns the new time.
+
+        The discrete-event form of :meth:`advance`: an event loop pops the
+        next event and moves the clock straight to its timestamp.  Jumping
+        to the current time is a no-op, so colocated events are cheap.
+        """
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind to {timestamp}; now is {self._now}")
+        self._now = float(timestamp)
+        return self._now

@@ -1,0 +1,248 @@
+"""Cluster-level stats and the ``cluster_report.json`` emitter.
+
+:class:`ClusterStats` is the simulator's per-request sink.  At a million
+requests, a list of record objects per request is real memory, so
+completions land in compact typed arrays (``array('d')`` latencies plus
+small interned tenant/tier indices); everything the report needs —
+cluster and per-tenant/per-tier latency percentiles, SLO attainment,
+fairness spreads — is computed once at report time with numpy over those
+arrays.
+
+:func:`build_cluster_report` assembles the full report from the
+simulation's parts: this sink, the front door's admission/fairness
+counters, every replica's own :class:`~repro.serving.stats.ServingStats`
+(the same per-tenant rejection block single-engine reports carry), the
+autoscaler timeline and the trace description.  Nothing in the report
+reads a wall clock — the same trace and cluster config produce a
+byte-identical JSON file on every run, which the CI smoke job relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..request import Request, Response
+from ..stats import percentile_summary
+
+#: Report schema version; bump on breaking layout changes.
+SCHEMA = "cluster_report/v1"
+
+
+class ClusterStats:
+    """Compact per-completion accounting for the cluster simulator."""
+
+    def __init__(self):
+        self.latency = array("d")
+        self.queue_wait = array("d")
+        self.dispatch_wait = array("d")
+        self.batch_size = array("i")
+        self.tenant = array("i")
+        self.tier = array("i")
+        #: Per-request SLO outcome: 1 met, 0 violated, -1 no SLO attached.
+        self.slo = array("b")
+        self._tenant_names: Dict[str, int] = {}
+        self._tier_names: Dict[str, int] = {}
+        self.first_arrival: Optional[float] = None
+        self.last_completion = 0.0
+
+    # ------------------------------------------------------------------
+    def _intern(self, table: Dict[str, int], name: str) -> int:
+        index = table.get(name)
+        if index is None:
+            index = len(table)
+            table[name] = index
+        return index
+
+    def observe(self, request: Request, response: Response) -> None:
+        """Record one completed request."""
+        self.latency.append(response.total_latency)
+        self.queue_wait.append(response.queue_wait)
+        self.dispatch_wait.append(response.dispatch_wait)
+        self.batch_size.append(response.batch_size)
+        self.tenant.append(self._intern(self._tenant_names,
+                                        request.tenant or "anonymous"))
+        self.tier.append(self._intern(self._tier_names,
+                                      request.tier or "none"))
+        met = response.meets_slo(request.latency_slo)
+        self.slo.append(-1 if met is None else int(met))
+        if request.arrival_time is not None:
+            if self.first_arrival is None:
+                self.first_arrival = request.arrival_time
+            else:
+                self.first_arrival = min(self.first_arrival,
+                                         request.arrival_time)
+        self.last_completion = max(self.last_completion,
+                                   response.total_latency
+                                   + (request.arrival_time or 0.0))
+
+    @property
+    def completed(self) -> int:
+        return len(self.latency)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _slo_block(slo: np.ndarray) -> Dict:
+        with_target = int((slo >= 0).sum())
+        met = int((slo == 1).sum())
+        return {
+            "with_target": with_target,
+            "met": met,
+            "violated": with_target - met,
+            "violation_rate": ((with_target - met) / with_target
+                               if with_target else 0.0),
+        }
+
+    def summary(self) -> Dict:
+        """Latency/SLO/fairness blocks of the cluster report."""
+        if not self.completed:
+            return {"completed": 0}
+        latency = np.asarray(self.latency)
+        queue_wait = np.asarray(self.queue_wait)
+        dispatch_wait = np.asarray(self.dispatch_wait)
+        batch_size = np.asarray(self.batch_size)
+        tenant = np.asarray(self.tenant)
+        tier = np.asarray(self.tier)
+        slo = np.asarray(self.slo)
+
+        tenants = {}
+        for name, index in sorted(self._tenant_names.items()):
+            mask = tenant == index
+            tenants[name] = {
+                "completed": int(mask.sum()),
+                "latency_s": percentile_summary(latency[mask]),
+                "slo": self._slo_block(slo[mask]),
+            }
+        tiers = {}
+        for name, index in sorted(self._tier_names.items()):
+            mask = tier == index
+            tiers[name] = {
+                "completed": int(mask.sum()),
+                "latency_s": percentile_summary(latency[mask]),
+                "slo": self._slo_block(slo[mask]),
+            }
+        tenant_p99 = {name: block["latency_s"]["p99"]
+                      for name, block in tenants.items()}
+        makespan = (self.last_completion - (self.first_arrival or 0.0)
+                    if self.completed else 0.0)
+        return {
+            "completed": self.completed,
+            "latency_s": percentile_summary(latency),
+            "queue_wait_s": percentile_summary(queue_wait),
+            "dispatch_wait_s": percentile_summary(dispatch_wait),
+            "mean_batch_size": float(batch_size.mean()),
+            "makespan_s": makespan,
+            "throughput_rps": (self.completed / makespan
+                               if makespan > 0 else 0.0),
+            "slo": self._slo_block(slo),
+            "tiers": tiers,
+            "tenants": tenants,
+            "fairness": {
+                "tenant_count": len(tenants),
+                "max_tenant_p99_s": max(tenant_p99.values()),
+                "min_tenant_p99_s": min(tenant_p99.values()),
+                "tenant_p99_spread": (max(tenant_p99.values())
+                                      / max(min(tenant_p99.values()), 1e-12)),
+            },
+        }
+
+
+def _merge_rejections(*blocks: Dict) -> Dict:
+    """Sum ``ServingStats.rejections()`` blocks (front door + replicas)."""
+    total = 0
+    by = {"by_tenant": {}, "by_tier": {}, "by_reason": {}}
+    for block in blocks:
+        total += block.get("total", 0)
+        for axis, counts in by.items():
+            for name, count in block.get(axis, {}).items():
+                counts[name] = counts.get(name, 0) + count
+    return {
+        "total": total,
+        "by_tenant": dict(sorted(by["by_tenant"].items())),
+        "by_tier": dict(sorted(by["by_tier"].items())),
+        "by_reason": dict(sorted(by["by_reason"].items())),
+    }
+
+
+def build_cluster_report(sim, trace) -> Dict:
+    """Assemble the full cluster report from a finished simulation.
+
+    ``sim`` is a :class:`~repro.serving.cluster.sim.ClusterSimulation`
+    that has run ``trace``.  See ``EXPERIMENTS.md`` for the field
+    reference.
+    """
+    now = sim.clock()
+    rejections = _merge_rejections(
+        sim.frontdoor.stats.rejections(),
+        *(r.engine.stats.rejections() for r in sim.replicas))
+    offered = sim.frontdoor.offered
+    per_tenant_rejections = rejections["by_tenant"]
+    tenant_rejection_rates = {
+        tenant: (per_tenant_rejections.get(tenant, 0) / count
+                 if count else 0.0)
+        for tenant, count in sorted(sim.frontdoor.offered_by_tenant.items())}
+
+    replicas = {str(r.replica_id): r.summary(now) for r in sim.replicas}
+    variant_totals = {
+        "loads": sum(r.variant_loads for r in sim.replicas),
+        "reloads": sum(r.variant_reloads for r in sim.replicas),
+        "evictions": sum(r.pool.stats()["evictions"] for r in sim.replicas),
+    }
+    prompt_hits = sum(r.prompt_hits for r in sim.replicas)
+    prompt_misses = sum(r.prompt_misses for r in sim.replicas)
+
+    report = {
+        "schema": SCHEMA,
+        "trace": {
+            "config": trace.config.describe(),
+            "num_requests": len(trace),
+            "duration_s": trace.duration_s,
+            "fingerprint": trace.fingerprint(),
+        },
+        "cluster": {
+            "policy": sim.policy.name,
+            "initial_replicas": sim.config.initial_replicas,
+            "final_replicas": len(sim.replicas),
+            "router_cache_size": sim.router.cache_size,
+        },
+        "requests": {
+            "offered": offered,
+            "admitted": sim.frontdoor.admitted,
+            "completed": sim.stats.completed,
+            "rejected": rejections,
+        },
+        "frontdoor": sim.frontdoor.summary(),
+        "tenant_rejection_rates": tenant_rejection_rates,
+        "variants": dict(variant_totals, reload_rate=(
+            variant_totals["reloads"] / sim.stats.completed
+            if sim.stats.completed else 0.0)),
+        "prompt_cache": {
+            "hits": prompt_hits,
+            "misses": prompt_misses,
+            "hit_rate": (prompt_hits / (prompt_hits + prompt_misses)
+                         if (prompt_hits + prompt_misses) else 0.0),
+        },
+        "replicas": replicas,
+        "autoscaler": (sim.autoscaler.summary() if sim.autoscaler
+                       else {"enabled": False, "timeline": []}),
+        "events": dict(sim.events),
+    }
+    report.update(sim.stats.summary())
+    return report
+
+
+def save_cluster_report(report: Dict, path) -> Path:
+    """Write the report as canonical JSON (sorted keys, stable layout).
+
+    The emitted bytes are a pure function of the report dict, which is a
+    pure function of (trace, cluster config) — the determinism contract
+    the smoke tests assert by comparing files across runs.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

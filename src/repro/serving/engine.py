@@ -6,7 +6,8 @@ Request lifecycle
 1. **Admission** (:meth:`ServingEngine.submit`): the request is validated,
    stamped with an id and arrival time and pushed into the bounded
    :class:`~repro.serving.request.RequestQueue`; at capacity the request is
-   rejected (counted in the stats report) instead of buffered unboundedly.
+   rejected (counted per tenant/tier in the stats report) instead of
+   buffered unboundedly.
 2. **Routing**: the :class:`~repro.serving.router.SLORouter` predicts
    per-(scheme, plan) latency from the roofline cost model and picks the
    highest-quality scheme *and step budget* that fit the request's SLO —
@@ -27,14 +28,27 @@ Request lifecycle
 
 The engine is single-threaded and synchronous: ``submit`` enqueues,
 :meth:`run_until_idle` drains.  That keeps semantics deterministic and
-testable; concurrency can be layered on top by driving multiple engines.
+testable; concurrency is layered on top by driving multiple engines —
+:mod:`repro.serving.cluster` wraps N engines in replicas behind a front
+door and drives them in one discrete-event loop.
+
+Every timestamp the engine (or any component it owns — batcher, pool,
+stats) records comes from the injectable ``clock``, never from the
+``time`` module directly, so an engine handed a
+:class:`~repro.serving.clock.VirtualClock` is fully deterministic: two
+runs of the same workload produce bit-identical stats reports.  For
+cluster simulation the batch lifecycle is split in two so an event loop
+can schedule service explicitly: :meth:`collect_ready_batches` closes
+batches without executing them, and :meth:`complete_batch` executes one
+with caller-supplied start/finish times (a batch may start late when its
+replica is busy — that wait lands in ``dispatch_wait``).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from ..diffusion import DiffusionPipeline
 from ..models import get_model_spec
@@ -70,6 +84,11 @@ class ServingEngine:
         self.router = router or SLORouter()
         self.config = config or EngineConfig()
         self.clock = clock
+        if pool.clock is None:
+            # The pool stamps variant build times; adopting the engine's
+            # clock keeps every engine-owned timestamp on one (possibly
+            # virtual) timeline.
+            pool.clock = clock
         self.queue = RequestQueue(self.config.queue_capacity)
         self.batcher = DynamicBatcher(self.config.max_batch_size,
                                       self.config.max_wait, clock=clock)
@@ -97,7 +116,9 @@ class ServingEngine:
         try:
             self.queue.push(request)
         except QueueFullError:
-            self.stats.record_rejection()
+            self.stats.record_rejection(tenant=request.tenant,
+                                        tier=request.tier,
+                                        reason="queue_full")
             return False
         return True
 
@@ -115,8 +136,21 @@ class ServingEngine:
         # plan without rebuilding pipelines.
         return self.pool.get(key.model, key.scheme)
 
-    def _process_batch(self, batch: Batch) -> List[Response]:
-        started = self.clock()
+    def complete_batch(self, batch: Batch,
+                       started: Optional[float] = None,
+                       finished: Optional[float] = None) -> List[Response]:
+        """Execute one closed batch and record its stats.
+
+        Without explicit timestamps the batch is timed off the engine
+        clock around the generation pass (the live-serving path).  A
+        cluster event loop instead schedules service itself and passes
+        ``started``/``finished`` — the modeled executor interval — so a
+        batch that queued behind a busy replica is accounted correctly
+        (the lag between batch formation and ``started`` is reported as
+        ``dispatch_wait``).
+        """
+        if started is None:
+            started = self.clock()
         pipeline = self._pipeline_for(batch.key)
         context = None
         hit_flags: Optional[List[bool]] = None
@@ -128,9 +162,11 @@ class ServingEngine:
         seeds = [request.seed for request in batch.requests]
         images = pipeline.generate_batch(seeds, context=context,
                                          plan=batch.key.plan)
-        finished = self.clock()
+        if finished is None:
+            finished = self.clock()
         self.stats.mark_finish(finished)
         batch_latency = finished - started
+        dispatch_wait = max(started - batch.formed_at, 0.0)
         plan = batch.key.plan
         # Concrete steps actually walked: full-grid samplers (DDPM) carry no
         # step budget in the plan and resolve to the training grid.
@@ -156,34 +192,70 @@ class ServingEngine:
                 queue_wait=queue_wait,
                 batch_size=len(batch),
                 batch_latency=batch_latency,
-                total_latency=queue_wait + batch_latency,
+                total_latency=queue_wait + dispatch_wait + batch_latency,
+                dispatch_wait=dispatch_wait,
                 embedding_cache_hit=(hit_flags[position]
                                      if hit_flags is not None else None),
                 plan=plan)
             responses.append(response)
-            self.stats.record_request(RequestRecord(
-                request_id=request.request_id, model=batch.key.model,
-                scheme=batch.key.scheme, num_steps=num_steps,
-                queue_wait=queue_wait, batch_size=len(batch),
-                batch_latency=batch_latency,
-                total_latency=response.total_latency,
-                latency_slo=request.latency_slo,
-                slo_met=response.meets_slo(request.latency_slo),
-                sampler=plan.sampler,
-                guidance_scale=plan.guidance_scale,
-                eta=plan.eta))
+            slo_met = response.meets_slo(request.latency_slo)
+            if self.stats.keep_records:
+                self.stats.record_request(RequestRecord(
+                    request_id=request.request_id, model=batch.key.model,
+                    scheme=batch.key.scheme, num_steps=num_steps,
+                    queue_wait=queue_wait, batch_size=len(batch),
+                    batch_latency=batch_latency,
+                    total_latency=response.total_latency,
+                    latency_slo=request.latency_slo,
+                    slo_met=slo_met,
+                    sampler=plan.sampler,
+                    guidance_scale=plan.guidance_scale,
+                    eta=plan.eta,
+                    dispatch_wait=dispatch_wait,
+                    tenant=request.tenant,
+                    tier=request.tier))
+            else:
+                # At simulator scale even the per-request dataclass is
+                # measurable; the aggregate counters stay exact.
+                self.stats.record_completion(batch.key.scheme, slo_met)
         return responses
 
-    def _drain_queue(self) -> List[Response]:
-        """Move queued requests into the batcher, serving batches that fill."""
-        responses: List[Response] = []
+    # Backwards-compatible spelling used by pre-cluster callers/tests.
+    def _process_batch(self, batch: Batch) -> List[Response]:
+        return self.complete_batch(batch)
+
+    def _drain_queue_batches(self) -> Iterator[Batch]:
+        """Move queued requests into the batcher, yielding batches that fill."""
         while len(self.queue):
             request = self.queue.pop()
             key = self._batch_key(request)
             full = self.batcher.add(key, request)
             if full is not None:
-                responses.extend(self._process_batch(full))
+                yield full
+
+    def _drain_queue(self) -> List[Response]:
+        """Drain arrivals, serving each batch the moment it fills."""
+        responses: List[Response] = []
+        for batch in self._drain_queue_batches():
+            responses.extend(self.complete_batch(batch))
         return responses
+
+    def collect_ready_batches(self, due: bool = True,
+                              flush: bool = False) -> List[Batch]:
+        """Close ready batches *without executing them* (cluster mode).
+
+        Drains the queue into the batcher and returns every batch that
+        filled, plus (``due=True``) batches whose oldest member aged past
+        ``max_wait``, plus (``flush=True``) every remaining partial batch.
+        The event loop schedules :meth:`complete_batch` for each at the
+        replica's next free slot instead of running them inline.
+        """
+        batches = list(self._drain_queue_batches())
+        if flush:
+            batches.extend(self.batcher.flush())
+        elif due:
+            batches.extend(self.batcher.due())
+        return batches
 
     def pump(self) -> List[Response]:
         """One live-serving turn: drain arrivals, then close aged batches.
@@ -194,7 +266,7 @@ class ServingEngine:
         """
         responses = self._drain_queue()
         for due in self.batcher.due():
-            responses.extend(self._process_batch(due))
+            responses.extend(self.complete_batch(due))
         self.sync_component_stats()
         return responses
 
@@ -206,7 +278,7 @@ class ServingEngine:
         """
         responses = self._drain_queue()
         for batch in self.batcher.flush():
-            responses.extend(self._process_batch(batch))
+            responses.extend(self.complete_batch(batch))
         self.sync_component_stats()
         return responses
 
@@ -231,7 +303,7 @@ class ServingEngine:
             request = self.queue.pop()
             key = self._batch_key(request)
             batch = Batch(key=key, requests=[request], formed_at=self.clock())
-            responses.extend(self._process_batch(batch))
+            responses.extend(self.complete_batch(batch))
         self.sync_component_stats()
         return responses
 

@@ -29,6 +29,24 @@ from .router import SLORouter
 SLO_TIERS = ("loose", "medium", "tight", None)
 
 
+def zipf_weights(count: int, skew: float) -> np.ndarray:
+    """Normalized Zipf popularity over ``count`` ranks (rank 1 hottest).
+
+    ``skew=0`` is uniform; serving traffic is modeled with ``skew`` around
+    1-1.4, where a handful of prompts/tenants dominate — the regime that
+    makes caches and variant affinity pay.  Shared by the single-engine
+    workload generator and the cluster trace generator so both draw from
+    the same popularity law.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if skew < 0:
+        raise ValueError(f"skew must be >= 0, got {skew}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** -skew
+    return weights / weights.sum()
+
+
 def slo_for_tier(router: SLORouter, model: str, num_steps: int,
                  tier: Optional[str]) -> Optional[float]:
     """Turn a symbolic tier into a concrete latency target in seconds.
@@ -75,9 +93,7 @@ def generate_workload(config: WorkloadConfig,
     prompt_pool = [spec.to_text() for spec in
                    sample_prompt_specs(config.prompt_pool_size,
                                        seed=config.seed)]
-    ranks = np.arange(1, len(prompt_pool) + 1, dtype=np.float64)
-    popularity = ranks ** -config.popularity_skew
-    popularity /= popularity.sum()
+    popularity = zipf_weights(len(prompt_pool), config.popularity_skew)
 
     requests: List[Request] = []
     for index in range(config.num_requests):
@@ -94,6 +110,7 @@ def generate_workload(config: WorkloadConfig,
             latency_slo=slo_for_tier(router, model, steps, tier),
             plan=plan,
             seed=int(rng.integers(2 ** 31)),
+            tier=tier,
         ))
     return requests
 

@@ -70,7 +70,8 @@ class ModelVariantPool:
                  quantization: Optional[Callable[[str], QuantizationConfig]] = None,
                  builder: Optional[Callable[[str, str], DiffusionPipeline]] = None,
                  cost_fn: Optional[Callable[[str, str], float]] = None,
-                 run_store=None):
+                 run_store=None,
+                 clock: Optional[Callable[[], float]] = None):
         """
         ``builder`` overrides how a ``(model, scheme)`` pipeline is built
         (tests inject stubs; production uses the zoo + quantizer default).
@@ -82,8 +83,13 @@ class ModelVariantPool:
         :class:`repro.experiments.RunStore`) makes the default builder load
         pre-quantized variants from the content-addressed artifact store,
         falling back to a cold quantize that populates the store.
+        ``clock`` stamps build/prewarm durations; ``None`` means wall time
+        until an engine adopts the pool, at which point the engine threads
+        its own (possibly virtual) clock through so the pool's timing stats
+        are deterministic whenever the engine's are.
         """
         self.memory_budget_bytes = memory_budget_bytes
+        self.clock = clock
         self.batch_size = batch_size
         self.pretrain = pretrain or PretrainConfig()
         self.cache_dir = cache_dir
@@ -106,6 +112,9 @@ class ModelVariantPool:
         self.cold_builds = 0
 
     # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return (self.clock or time.perf_counter)()
+
     @staticmethod
     def _default_quantization(scheme: str) -> QuantizationConfig:
         return QuantizationConfig(weight_dtype=scheme, activation_dtype=scheme)
@@ -157,6 +166,14 @@ class ModelVariantPool:
             },
         }
 
+    def has_variant(self, model: str, scheme: str) -> bool:
+        """Whether ``(model, scheme)`` is resident right now (no build).
+
+        Affinity routing scores replicas by residency without touching the
+        LRU order — :meth:`get` would promote the key and build on a miss.
+        """
+        return (model, scheme) in self._variants
+
     # ------------------------------------------------------------------
     def get(self, model: str, scheme: str) -> DiffusionPipeline:
         """Return the pipeline for ``(model, scheme)``, building it lazily."""
@@ -167,9 +184,9 @@ class ModelVariantPool:
             self._variants.move_to_end(key)
             return pipeline
         self._last_build_source = None
-        started = time.perf_counter()
+        started = self._now()
         pipeline = self._builder(model, scheme)
-        build_time = time.perf_counter() - started
+        build_time = self._now() - started
         source = self._last_build_source or "custom"
         if source == "store":
             self.store_loads += 1
@@ -224,12 +241,12 @@ class ModelVariantPool:
         pairs = list(dict.fromkeys(pairs))
         loads_before = self.store_loads
         cold_before = self.cold_builds
-        started = time.perf_counter()
+        started = self._now()
         for model, scheme in pairs:
             self.get(model, scheme)
         return {
             "prewarmed": [f"{model}/{scheme}" for model, scheme in pairs],
-            "duration_s": time.perf_counter() - started,
+            "duration_s": self._now() - started,
             # deltas for *this* prewarm, not pool-lifetime totals
             "store_loads": self.store_loads - loads_before,
             "cold_builds": self.cold_builds - cold_before,

@@ -39,6 +39,13 @@ class Request:
     folded into the plan; both default to the model's standard
     sampling-step count.  ``seed`` makes the request's image deterministic
     regardless of how it is batched.
+
+    ``tenant`` identifies the account the request bills to (the unit of
+    admission-control fairness in the cluster front door) and ``tier`` is
+    the symbolic SLO tier its ``latency_slo`` was derived from; both are
+    optional and purely attributional — they never change how a single
+    engine serves the request, only how rejections and latency are
+    accounted per tenant/tier.
     """
 
     model: str
@@ -48,6 +55,8 @@ class Request:
     scheme: Optional[str] = None
     plan: Optional[GenerationPlan] = None
     seed: int = 0
+    tenant: Optional[str] = None
+    tier: Optional[str] = None
     request_id: Optional[int] = None
     arrival_time: Optional[float] = None
 
@@ -64,7 +73,11 @@ class Response:
     queue_wait: float          # seconds from admission to batch formation
     batch_size: int            # size of the batch the request was served in
     batch_latency: float       # wall-clock seconds of the batch's generation
-    total_latency: float       # queue_wait + batch_latency
+    total_latency: float       # queue_wait + dispatch_wait + batch_latency
+    #: Seconds the formed batch waited for a free executor slot (always 0
+    #: in single-engine live serving; nonzero under the cluster simulator
+    #: when a batch queues behind a busy replica).
+    dispatch_wait: float = 0.0
     embedding_cache_hit: Optional[bool] = None
     #: The generation plan the request was actually served with (the routed
     #: plan — possibly step-reduced relative to what was asked for).
