@@ -122,11 +122,25 @@ def test_autoscaler_engaged(report):
 
 
 def test_deterministic_across_runs():
-    """Same seed -> byte-identical report (smaller scale to keep CI fast)."""
+    """Same seed -> byte-identical report (smaller scale to keep CI fast).
+
+    The second run also records a Perfetto fleet trace — tracing must not
+    perturb the simulation, and the trace artifact CI uploads comes from
+    this (smaller, same-config) run.
+    """
+    from repro.obs import load_chrome_trace
+
     trace_config = TraceConfig(num_requests=min(NUM_REQUESTS, 5000), seed=SEED)
+    trace_path = RESULTS_DIR / "cluster_trace.json"
     dumps = []
-    for _ in range(2):
+    for index in range(2):
         trace = generate_trace(trace_config)
-        report = run_cluster_sim(trace, cluster_config())
+        report = run_cluster_sim(trace, cluster_config(),
+                                 trace_path=trace_path if index else None)
         dumps.append(json.dumps(report, sort_keys=True))
     assert dumps[0] == dumps[1]
+
+    document = load_chrome_trace(trace_path)  # schema-checks on load
+    lanes = {event["args"]["name"] for event in document["traceEvents"]
+             if event["ph"] == "M" and event["name"] == "thread_name"}
+    assert {f"replica-{i}" for i in range(NUM_REPLICAS)} <= lanes

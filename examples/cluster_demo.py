@@ -10,6 +10,7 @@ to show what variant affinity buys.
     PYTHONPATH=src python examples/cluster_demo.py --requests 100000 --compare
     PYTHONPATH=src python examples/cluster_demo.py --policy round_robin \\
         --report cluster_report.json
+    PYTHONPATH=src python examples/cluster_demo.py --trace fleet_trace.json
 
 Everything runs in virtual time: a 20k-request simulation takes ~2 s of
 wall time, a million-request one about a minute.
@@ -40,6 +41,10 @@ def parse_args():
                         help="also run round-robin and print a comparison")
     parser.add_argument("--report", default=None,
                         help="write the full cluster_report.json here")
+    parser.add_argument("--trace", default=None, metavar="OUT.json",
+                        help="write a Chrome/Perfetto trace of the fleet "
+                             "(per-replica lanes, admission rejections, "
+                             "autoscaler decisions) here")
     return parser.parse_args()
 
 
@@ -97,10 +102,14 @@ def main():
 
     print(f"\n=== policy: {args.policy} ===")
     report = run_cluster_sim(trace, build_config(args, args.policy),
-                             report_path=args.report)
+                             report_path=args.report,
+                             trace_path=args.trace)
     print_report(report)
     if args.report:
         print(f"\nfull report written to {args.report}")
+    if args.trace:
+        print(f"fleet trace written to {args.trace} "
+              f"(open in ui.perfetto.dev)")
 
     if args.compare and args.policy != "round_robin":
         print("\n=== policy: round_robin (comparison) ===")

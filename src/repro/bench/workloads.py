@@ -532,3 +532,51 @@ def _setup_cluster_sim():
 
 register_workload("cluster.sim", _setup_cluster_sim, suites=_MACRO,
                   repeats=5)
+
+
+# ----------------------------------------------------------------------
+# telemetry overhead: traced sampler loop (pre) vs tracer disabled (fast)
+# ----------------------------------------------------------------------
+def _setup_telemetry(arm: str):
+    def setup():
+        from ..obs import Tracer
+
+        plan = _SAMPLER_PLANS["ddim"]
+        pipeline = _bench_pipeline()
+        model = _bench_model()
+        noise = pipeline.initial_noise(_SAMPLE_SHAPE[0], seed=11)
+        schedule = pipeline.schedule
+        tracer = Tracer()
+
+        def run_traced():
+            tracer.clear()
+            sampler = plan.build_sampler(schedule, pipeline.num_steps)
+            return sampler.sample(model, _SAMPLE_SHAPE,
+                                  np.random.default_rng(1),
+                                  initial_noise=noise.copy(),
+                                  tracer=tracer,
+                                  step_attrs={"workload": "telemetry"})
+
+        def run_untraced():
+            sampler = plan.build_sampler(schedule, pipeline.num_steps)
+            return sampler.sample(model, _SAMPLE_SHAPE,
+                                  np.random.default_rng(1),
+                                  initial_noise=noise.copy())
+
+        # Tracing must never change the trajectory; the pair exists to
+        # price the per-step span bookkeeping, not a different answer.
+        if arm == FAST_ARM and not np.array_equal(run_traced(),
+                                                  run_untraced()):
+            raise AssertionError("tracing changed the sampler trajectory")
+        run = run_traced if arm == PRE_ARM else run_untraced
+        return run, {"plan": plan.to_dict(), "traced": arm == PRE_ARM}
+
+    return setup
+
+
+register_workload("telemetry.overhead.pre", _setup_telemetry(PRE_ARM),
+                  suites=_MACRO, pair="telemetry.overhead", arm=PRE_ARM,
+                  repeats=9)
+register_workload("telemetry.overhead.fast", _setup_telemetry(FAST_ARM),
+                  suites=_MACRO, pair="telemetry.overhead", arm=FAST_ARM,
+                  repeats=9)

@@ -27,13 +27,20 @@ registered sampler.
 Every sampler shares one calling convention::
 
     sampler.sample(model, shape, rng, context=None, trace=None,
-                   initial_noise=None)
+                   initial_noise=None, tracer=None, step_attrs=None)
 
 ``initial_noise`` pins ``x_T`` so seed-matched comparisons denoise identical
 starting noise (paper Section VI-C); the optional ``trace`` callback lets the
 quantization calibration machinery record intermediate latents at selected
 timesteps (the paper's "initialization dataset" and "calibration dataset",
 Section V).
+
+``tracer`` (a :class:`repro.obs.Tracer`) books one span per denoising step;
+``step_attrs`` is attached to every step span, which is how callers stamp
+steps with roofline cost-model predictions for the calibration report.  The
+default ``tracer=None`` skips even the clock reads — the loops guard with
+``if tracer is not None`` so disabled telemetry costs nothing (guarded by
+the ``telemetry.overhead`` bench workload).
 """
 
 from __future__ import annotations
@@ -136,7 +143,8 @@ class DDPMSampler:
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
-               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+               initial_noise: Optional[np.ndarray] = None,
+               tracer=None, step_attrs: Optional[Dict] = None) -> np.ndarray:
         """Generate samples of the given ``(N, C, H, W)`` shape.
 
         ``initial_noise`` pins ``x_T`` (the per-step transition noise still
@@ -149,6 +157,8 @@ class DDPMSampler:
         work = buffers.work1
         with inference_mode():
             for t in reversed(range(schedule.num_timesteps)):
+                if tracer is not None:
+                    span_started = tracer.time()
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha = schedule.alphas[t]
@@ -163,6 +173,11 @@ class DDPMSampler:
                     np.multiply(noise, np.sqrt(beta), out=buffers.work2)
                     np.add(work, buffers.work2, out=work)
                 x = buffers.finish(trace, t)
+                if tracer is not None:
+                    tracer.add_span("sampler.step", span_started, tracer.time(),
+                                    category="sampler", process="sampler",
+                                    attrs={"t": int(t), "sampler": "ddpm",
+                                           **(step_attrs or {})})
         return x
 
 
@@ -226,7 +241,8 @@ class DDIMSampler:
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
-               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+               initial_noise: Optional[np.ndarray] = None,
+               tracer=None, step_attrs: Optional[Dict] = None) -> np.ndarray:
         """Generate samples; with ``eta=0`` the trajectory is deterministic
         given ``initial_noise`` (or the rng state), which is how the paper
         fixes seeds to compare quantization configurations on identical
@@ -238,6 +254,8 @@ class DDIMSampler:
         work, work2 = buffers.work1, buffers.work2
         with inference_mode():
             for index, t in enumerate(timesteps):
+                if tracer is not None:
+                    span_started = tracer.time()
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
@@ -261,6 +279,12 @@ class DDIMSampler:
                     np.multiply(noise, sigma, out=work2)
                     np.add(work, work2, out=work)
                 x = buffers.finish(trace, t)
+                if tracer is not None:
+                    tracer.add_span("sampler.step", span_started, tracer.time(),
+                                    category="sampler", process="sampler",
+                                    attrs={"t": int(t), "index": index,
+                                           "sampler": "ddim",
+                                           **(step_attrs or {})})
         return x
 
 
@@ -313,7 +337,8 @@ class DPMSolver2Sampler:
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
-               initial_noise: Optional[np.ndarray] = None) -> np.ndarray:
+               initial_noise: Optional[np.ndarray] = None,
+               tracer=None, step_attrs: Optional[Dict] = None) -> np.ndarray:
         schedule = self.schedule
         x = _resolve_initial_noise(shape, rng, initial_noise)
         timesteps = self.timesteps
@@ -322,6 +347,8 @@ class DPMSolver2Sampler:
         eps_avg = np.empty(shape, dtype=np.float32)
         with inference_mode():
             for index, t in enumerate(timesteps):
+                if tracer is not None:
+                    span_started = tracer.time()
                 t_batch = np.full((shape[0],), t, dtype=np.int64)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
@@ -342,6 +369,12 @@ class DPMSolver2Sampler:
                                         buffers, buffers.out)
                 if trace is not None:
                     trace(t, x.copy())
+                if tracer is not None:
+                    tracer.add_span("sampler.step", span_started, tracer.time(),
+                                    category="sampler", process="sampler",
+                                    attrs={"t": int(t), "index": index,
+                                           "sampler": "dpm2",
+                                           **(step_attrs or {})})
         return x
 
 

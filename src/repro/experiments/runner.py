@@ -33,7 +33,13 @@ from .store import RunStore
 
 @dataclass
 class StageRecord:
-    """What happened to one stage during a run."""
+    """What happened to one stage during a run.
+
+    ``started_s``/``finished_s`` are offsets from the run's start on the
+    runner's clock (wall time by default), so manifests archived by CI
+    show where each stage sat inside the run — the same interval the
+    runner's tracer books as the stage's span.
+    """
 
     stage_id: str
     kind: str
@@ -42,12 +48,15 @@ class StageRecord:
     duration_s: float
     artifact_path: Optional[str] = None
     deps: List[str] = field(default_factory=list)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
 
     def to_dict(self) -> Dict:
         return {
             "stage_id": self.stage_id, "kind": self.kind, "key": self.key,
             "cache_hit": self.cache_hit, "duration_s": self.duration_s,
             "artifact_path": self.artifact_path, "deps": list(self.deps),
+            "started_s": self.started_s, "finished_s": self.finished_s,
         }
 
     @classmethod
@@ -56,7 +65,9 @@ class StageRecord:
                    key=data["key"], cache_hit=data["cache_hit"],
                    duration_s=data["duration_s"],
                    artifact_path=data.get("artifact_path"),
-                   deps=list(data.get("deps", [])))
+                   deps=list(data.get("deps", [])),
+                   started_s=data.get("started_s"),
+                   finished_s=data.get("finished_s"))
 
 
 @dataclass
@@ -69,6 +80,9 @@ class RunManifest:
     model: Optional[str] = None
     total_duration_s: float = 0.0
     max_workers: int = 1
+    #: Run-store counter deltas for this run ({"hits", "misses", "writes"}),
+    #: None when the runner had no store.
+    store: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +131,7 @@ class RunManifest:
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
             "kind_counts": self.kind_counts(),
+            "store": self.store,
             "stages": [record.to_dict() for record in self.stages],
         }
 
@@ -127,7 +142,8 @@ class RunManifest:
             spec_fingerprint=data.get("spec_fingerprint"),
             name=data.get("name"), model=data.get("model"),
             total_duration_s=data.get("total_duration_s", 0.0),
-            max_workers=data.get("max_workers", 1))
+            max_workers=data.get("max_workers", 1),
+            store=data.get("store"))
 
     def to_json(self, **kwargs) -> str:
         return json.dumps(self.to_dict(), **kwargs)
@@ -162,18 +178,28 @@ class Runner:
 
     def __init__(self, store: Optional[RunStore] = None, max_workers: int = 1,
                  use_cache: bool = True,
-                 zoo_cache_dir: Optional[Path] = None):
+                 zoo_cache_dir: Optional[Path] = None,
+                 clock=time.perf_counter, tracer=None):
+        """``clock`` is any zero-argument seconds callable (consistent with
+        :class:`~repro.serving.clock.VirtualClock`); every stage duration
+        and manifest timestamp comes from it, so tests can drive a runner
+        clock-free.  ``tracer`` (:class:`repro.obs.Tracer`) books one span
+        per stage — named ``stage.<kind>``, carrying the stage's store key
+        and cache-hit flag — on a lane per worker thread."""
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.store = store
         self.max_workers = max_workers
         self.use_cache = use_cache
         self.zoo_cache_dir = zoo_cache_dir
+        self.clock = clock
+        self.tracer = tracer if (tracer is not None
+                                 and getattr(tracer, "enabled", True)) else None
 
     # ------------------------------------------------------------------
-    def _run_stage(self, stage: Stage, key: str,
-                   dep_values: Dict[str, Any]) -> Tuple[Any, StageRecord]:
-        started = time.perf_counter()
+    def _run_stage(self, stage: Stage, key: str, dep_values: Dict[str, Any],
+                   run_started: float = 0.0) -> Tuple[Any, StageRecord]:
+        started = self.clock()
         cache_hit = False
         artifact_path: Optional[Path] = None
         value = None
@@ -190,12 +216,23 @@ class Runner:
                     key, stage.encode(value), stage.encoding,
                     meta={"stage_id": stage.stage_id, "kind": stage.kind,
                           "inputs": stage.inputs, "deps": list(stage.deps)})
+        finished = self.clock()
+        if self.tracer is not None:
+            # Lane defaults to the executing thread's name, so parallel
+            # runs show one track per pool worker.
+            self.tracer.add_span(f"stage.{stage.kind}", started, finished,
+                                 category="runner", process="runner",
+                                 attrs={"stage_id": stage.stage_id,
+                                        "kind": stage.kind, "key": key,
+                                        "cache_hit": cache_hit})
         record = StageRecord(
             stage_id=stage.stage_id, kind=stage.kind, key=key,
             cache_hit=cache_hit,
-            duration_s=time.perf_counter() - started,
+            duration_s=finished - started,
             artifact_path=str(artifact_path) if artifact_path else None,
-            deps=list(stage.deps))
+            deps=list(stage.deps),
+            started_s=started - run_started,
+            finished_s=finished - run_started)
         return value, record
 
     # ------------------------------------------------------------------
@@ -205,7 +242,8 @@ class Runner:
                 model: Optional[str] = None
                 ) -> Tuple[Dict[str, Any], RunManifest]:
         """Run every stage; return ``(values by stage id, manifest)``."""
-        started = time.perf_counter()
+        started = self.clock()
+        store_before = self.store.stats() if self.store is not None else None
         # Fingerprints are memoized inside the graph; computing them all up
         # front keeps the worker threads read-only.
         keys = {stage.stage_id: graph.fingerprint(stage.stage_id)
@@ -217,22 +255,30 @@ class Runner:
             for stage in graph.stages:
                 dep_values = {dep: values[dep] for dep in stage.deps}
                 value, record = self._run_stage(stage, keys[stage.stage_id],
-                                                dep_values)
+                                                dep_values,
+                                                run_started=started)
                 values[stage.stage_id] = value
                 records[stage.stage_id] = record
         else:
-            self._execute_parallel(graph, keys, values, records)
+            self._execute_parallel(graph, keys, values, records, started)
 
+        store_delta = None
+        if store_before is not None:
+            after = self.store.stats()
+            store_delta = {counter: after[counter] - store_before[counter]
+                           for counter in ("hits", "misses", "writes")}
         manifest = RunManifest(
             stages=[records[stage.stage_id] for stage in graph.stages],
             spec_fingerprint=spec_fingerprint, name=name, model=model,
-            total_duration_s=time.perf_counter() - started,
-            max_workers=self.max_workers)
+            total_duration_s=self.clock() - started,
+            max_workers=self.max_workers,
+            store=store_delta)
         return values, manifest
 
     def _execute_parallel(self, graph: StageGraph, keys: Dict[str, str],
                           values: Dict[str, Any],
-                          records: Dict[str, StageRecord]) -> None:
+                          records: Dict[str, StageRecord],
+                          run_started: float = 0.0) -> None:
         """Schedule independent stages on a thread pool.
 
         Bookkeeping (``values``/``records``/``remaining``) is only mutated
@@ -251,7 +297,7 @@ class Runner:
                 stage = graph[stage_id]
                 dep_values = {dep: values[dep] for dep in stage.deps}
                 future = pool.submit(self._run_stage, stage, keys[stage_id],
-                                     dep_values)
+                                     dep_values, run_started)
                 futures[future] = stage_id
 
             for stage_id in ready:
@@ -283,15 +329,17 @@ class Runner:
 
 def run_experiment(spec: ExperimentSpec, store: Optional[RunStore] = None,
                    max_workers: int = 1, use_cache: bool = True,
-                   zoo_cache_dir: Optional[Path] = None) -> ExperimentRun:
+                   zoo_cache_dir: Optional[Path] = None,
+                   tracer=None) -> ExperimentRun:
     """One-call entry point: run ``spec`` against ``store`` (default store).
 
-    Pass ``store=False`` to run without any artifact store.
+    Pass ``store=False`` to run without any artifact store; ``tracer``
+    records one span per stage.
     """
     if store is None:
         store = RunStore()
     elif store is False:
         store = None
     runner = Runner(store=store, max_workers=max_workers, use_cache=use_cache,
-                    zoo_cache_dir=zoo_cache_dir)
+                    zoo_cache_dir=zoo_cache_dir, tracer=tracer)
     return runner.run(spec)

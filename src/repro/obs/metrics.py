@@ -1,0 +1,211 @@
+"""Labeled metrics registry: counters, gauges, histograms with reservoirs.
+
+One :class:`MetricsRegistry` per process (or per simulation) holds every
+instrument, keyed by ``(name, sorted labels)`` — the same identity model
+as Prometheus, so a later dashboard can scrape :meth:`snapshot` output
+without translation.  Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing total (requests admitted,
+  cache hits);
+* :class:`Gauge` — last-written value (active replicas, queue depth);
+* :class:`Histogram` — observation stream summarized by count/sum/min/max
+  plus a **bounded reservoir** of at most ``reservoir_size`` samples for
+  percentile estimates.  The reservoir uses classic Vitter reservoir
+  sampling driven by a seeded ``random.Random``, so snapshots are
+  deterministic for a deterministic observation stream and memory stays
+  O(reservoir_size) no matter how many observations arrive.
+
+Snapshots are plain JSON-safe dicts; :meth:`MetricsRegistry.restore`
+rebuilds a registry from one, so snapshot → JSON → restore → snapshot
+round-trips exactly (tested).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic total; ``inc`` by any non-negative amount."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict:
+        return {"value": self.value}
+
+    def restore(self, state: Dict) -> None:
+        self.value = float(state["value"])
+
+
+class Gauge:
+    """Last-written value; ``set`` or ``add`` (deltas may be negative)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> Dict:
+        return {"value": self.value}
+
+    def restore(self, state: Dict) -> None:
+        self.value = float(state["value"])
+
+
+class Histogram:
+    """Count/sum/min/max plus a bounded, deterministic sample reservoir."""
+
+    kind = "histogram"
+
+    def __init__(self, reservoir_size: int = 512, seed: int = 0) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.reservoir_size = reservoir_size
+        self.seed = seed
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.reservoir: List[float] = []
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self.reservoir) < self.reservoir_size:
+            self.reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self.reservoir[slot] = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (q in [0, 1]) from the reservoir."""
+        if not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir)
+        index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[index]
+
+    def snapshot(self) -> Dict:
+        state = {
+            "count": self.count, "sum": self.sum,
+            "min": self.min, "max": self.max,
+            "mean": self.sum / self.count if self.count else None,
+            "reservoir_size": self.reservoir_size, "seed": self.seed,
+            "reservoir": list(self.reservoir),
+        }
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            state[label] = self.percentile(q)
+        return state
+
+    def restore(self, state: Dict) -> None:
+        self.reservoir_size = int(state["reservoir_size"])
+        self.seed = int(state["seed"])
+        self.count = int(state["count"])
+        self.sum = float(state["sum"])
+        self.min = state["min"]
+        self.max = state["max"]
+        self.reservoir = [float(v) for v in state["reservoir"]]
+        # Re-seeding then replaying `count` draws would be wrong (the
+        # original draws depended on interleaving), so a restored
+        # histogram keeps its reservoir frozen-fair: further observes use
+        # a fresh RNG at the recorded seed, which preserves determinism
+        # of snapshot → restore → snapshot with no new observations.
+        self._rng = random.Random(self.seed)
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Instruments keyed by (name, labels); snapshot/restore round-trips."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelKey], object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Optional[Dict[str, str]],
+             **kwargs):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = _KINDS[kind](**kwargs)
+            self._instruments[key] = instrument
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{instrument.kind}, not {kind}")
+        return instrument
+
+    def counter(self, name: str,
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str,
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, labels: Optional[Dict[str, str]] = None,
+                  reservoir_size: int = 512, seed: int = 0) -> Histogram:
+        return self._get("histogram", name, labels,
+                         reservoir_size=reservoir_size, seed=seed)
+
+    # ------------------------------------------------------------------
+    def instruments(self) -> Iterable[Tuple[str, LabelKey, object]]:
+        for (name, labels), instrument in sorted(
+                self._instruments.items(), key=lambda item: item[0]):
+            yield name, labels, instrument
+
+    def snapshot(self) -> Dict:
+        """JSON-safe dump of every instrument (sorted, deterministic)."""
+        metrics = []
+        for name, labels, instrument in self.instruments():
+            metrics.append({
+                "name": name,
+                "labels": {k: v for k, v in labels},
+                "kind": instrument.kind,
+                "state": instrument.snapshot(),
+            })
+        return {"schema": "repro.obs.metrics/v1", "metrics": metrics}
+
+    @classmethod
+    def restore(cls, snapshot: Dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` document."""
+        if snapshot.get("schema") != "repro.obs.metrics/v1":
+            raise ValueError(
+                f"unknown metrics snapshot schema {snapshot.get('schema')!r}")
+        registry = cls()
+        for entry in snapshot["metrics"]:
+            kind = entry["kind"]
+            if kind not in _KINDS:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+            instrument = registry._get(kind, entry["name"], entry["labels"])
+            instrument.restore(entry["state"])
+        return registry

@@ -25,6 +25,7 @@ from .latency import (
     estimate_scheme_latency,
     grouped_breakdown,
     latency_breakdown,
+    measure_latency,
     normalized_breakdown,
 )
 from .memory import MemoryEstimate, estimate_peak_memory, memory_vs_batch_size
@@ -37,6 +38,6 @@ __all__ = [
     "DeviceProfile", "GPU_V100", "CPU_XEON", "DEVICE_PROFILES",
     "estimate_latency", "estimate_scheme_latency", "estimate_plan_latency",
     "latency_breakdown", "normalized_breakdown",
-    "grouped_breakdown",
+    "grouped_breakdown", "measure_latency",
     "MemoryEstimate", "estimate_peak_memory", "memory_vs_batch_size",
 ]

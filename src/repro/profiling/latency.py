@@ -12,8 +12,9 @@ exactly what Figure 4 reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .cost_model import (
     BYTES_FP32,
@@ -110,6 +111,34 @@ def estimate_plan_latency(costs: Iterable[LayerCost], device: DeviceProfile,
     return per_forward * plan_model_evals(num_steps, guidance_scale,
                                           solver_evals_per_step,
                                           first_order_final_step)
+
+
+def measure_latency(fn: Callable[[], object],
+                    clock: Callable[[], float] = time.perf_counter,
+                    repeats: int = 3, warmup: int = 1) -> Dict[str, float]:
+    """Measure a callable's latency on an *injectable* clock.
+
+    The analytic estimators above predict latency; this is their measured
+    counterpart, used by the calibration harness
+    (:func:`repro.obs.run_cost_model_calibration`) to quantify the model's
+    error.  ``clock`` is any zero-argument callable returning seconds —
+    ``time.perf_counter`` by default, or a
+    :class:`~repro.serving.clock.VirtualClock` so modeled components can
+    be "measured" in virtual time and tests run clock-free.  Returns
+    ``best_s`` / ``mean_s`` / ``last_s`` over ``repeats`` timed calls
+    (after ``warmup`` untimed ones).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        started = clock()
+        fn()
+        samples.append(clock() - started)
+    return {"best_s": min(samples), "mean_s": sum(samples) / len(samples),
+            "last_s": samples[-1], "repeats": repeats}
 
 
 def latency_breakdown(costs: Iterable[LayerCost], device: DeviceProfile,

@@ -76,11 +76,18 @@ class FrontDoor:
 
     def __init__(self, router, policy: RoutingPolicy,
                  cost_model: ClusterCostModel,
-                 config: Optional[FrontDoorConfig] = None):
+                 config: Optional[FrontDoorConfig] = None,
+                 tracer=None):
         self.router = router
         self.policy = policy
         self.cost_model = cost_model
         self.config = config or FrontDoorConfig()
+        #: Optional :class:`repro.obs.Tracer`: every admission rejection
+        #: becomes an instant event on the cluster's "frontdoor" lane
+        #: (timestamped explicitly with the virtual now, so the tracer's
+        #: own clock never matters here).
+        self.tracer = tracer if (tracer is not None
+                                 and getattr(tracer, "enabled", True)) else None
         #: Rejection bookkeeping (per tenant/tier/reason) reuses the
         #: serving stats counters, so the report format matches the
         #: single-engine ``report()["rejections"]`` block.
@@ -104,9 +111,16 @@ class FrontDoor:
             self._buckets[tenant] = bucket
         return bucket
 
-    def _reject(self, request: Request, reason: str) -> None:
+    def _reject(self, request: Request, reason: str, now: float) -> None:
         self.stats.record_rejection(tenant=request.tenant, tier=request.tier,
                                     reason=reason)
+        if self.tracer is not None:
+            self.tracer.instant("admission.rejected", ts=now,
+                                category="admission", lane="frontdoor",
+                                process="cluster",
+                                attrs={"reason": reason,
+                                       "tenant": request.tenant,
+                                       "tier": request.tier})
 
     # ------------------------------------------------------------------
     def dispatch(self, request: Request, now: float,
@@ -124,17 +138,17 @@ class FrontDoor:
             self.offered_by_tenant.get(tenant, 0) + 1
 
         if not self._bucket(tenant, now).try_take(now):
-            self._reject(request, "throttled")
+            self._reject(request, "throttled", now)
             return None
 
         active = RoutingPolicy.active(replicas)
         if not active:
-            self._reject(request, "no_replica")
+            self._reject(request, "no_replica", now)
             return None
 
         if (sum(r.inflight for r in active)
                 >= self.config.max_cluster_pending):
-            self._reject(request, "overload")
+            self._reject(request, "overload", now)
             return None
 
         decision = self.router.decide(request)

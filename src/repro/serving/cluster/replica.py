@@ -97,7 +97,8 @@ class SimPipeline:
         self.num_steps = spec.default_sampling_steps
         self.schedule = SimPipeline._Schedule(spec.train_timesteps)
 
-    def generate_batch(self, seeds, context=None, trace=None, plan=None):
+    def generate_batch(self, seeds, context=None, trace=None, plan=None,
+                       tracer=None, step_attrs=None):
         return [SimPipeline._PLACEHOLDER] * len(seeds)
 
 
@@ -240,7 +241,8 @@ class Replica:
     def __init__(self, replica_id: int, clock, router,
                  cost_model: ClusterCostModel,
                  config: Optional[ReplicaConfig] = None,
-                 state: str = ACTIVE, started_at: float = 0.0):
+                 state: str = ACTIVE, started_at: float = 0.0,
+                 tracer=None):
         self.replica_id = replica_id
         self.clock = clock
         self.cost_model = cost_model
@@ -254,13 +256,16 @@ class Replica:
             builder=lambda model, scheme: SimPipeline(model, scheme),
             cost_fn=cost_model.variant_bytes,
             clock=clock)
+        # Each replica traces on its own "replica-<id>" lane of the shared
+        # "cluster" process, so Perfetto shows the fleet as parallel tracks.
         self.engine = ServingEngine(
             pool, router=router,
             config=EngineConfig(max_batch_size=self.config.max_batch_size,
                                 max_wait=self.config.max_wait,
                                 queue_capacity=max(self.config.capacity, 1)),
             stats=ServingStats(keep_records=self.config.keep_records),
-            clock=clock)
+            clock=clock, tracer=tracer,
+            trace_lane=f"replica-{replica_id}", trace_process="cluster")
         # executor timeline + accounting
         self.busy_until = float(started_at)
         self.busy_seconds = 0.0

@@ -106,9 +106,18 @@ class ClusterSimulation:
     """Drives a replica fleet through a trace on one virtual timeline."""
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 router: Optional[SLORouter] = None):
+                 router: Optional[SLORouter] = None, tracer=None):
+        """``tracer`` (:class:`repro.obs.Tracer`, default off) records the
+        whole fleet on the "cluster" process: one lane per replica (batch
+        segments + per-request async spans, booked by each replica's
+        engine with the modeled virtual timestamps), a "frontdoor" lane of
+        admission-rejection instants, and an "autoscaler" lane of decision
+        instants.  Tracing only ever appends to the tracer's own buffer —
+        a traced run's report stays byte-identical to an untraced one."""
         self.config = config or ClusterConfig()
         self.clock = VirtualClock()
+        self.tracer = tracer if (tracer is not None
+                                 and getattr(tracer, "enabled", True)) else None
         costs_fn = paper_costs_fn()
         if router is None:
             router = default_cluster_router(schemes=self.config.schemes,
@@ -121,7 +130,7 @@ class ClusterSimulation:
                        if isinstance(self.config.policy, str)
                        else self.config.policy)
         self.frontdoor = FrontDoor(self.router, self.policy, self.cost_model,
-                                   self.config.frontdoor)
+                                   self.config.frontdoor, tracer=self.tracer)
         self.autoscaler = (Autoscaler(self.config.autoscaler)
                            if self.config.autoscaler else None)
         self.stats = ClusterStats()
@@ -144,7 +153,7 @@ class ClusterSimulation:
     def _spawn(self, state: str, now: float) -> Replica:
         replica = Replica(self._next_replica_id, self.clock, self.router,
                           self.cost_model, self.config.replica,
-                          state=state, started_at=now)
+                          state=state, started_at=now, tracer=self.tracer)
         self._next_replica_id += 1
         self.replicas.append(replica)
         return replica
@@ -217,6 +226,12 @@ class ClusterSimulation:
     def _on_warmup(self, now: float, replica: Replica) -> None:
         self.events["warmups"] += 1
         replica.activate(now)
+        if self.tracer is not None:
+            self.tracer.instant("replica.activated", ts=now,
+                                category="lifecycle",
+                                lane=f"replica-{replica.replica_id}",
+                                process="cluster",
+                                attrs={"replica": replica.replica_id})
 
     def _on_tick(self, now: float) -> None:
         self.events["ticks"] += 1
@@ -234,6 +249,14 @@ class ClusterSimulation:
         decision = self.autoscaler.evaluate(
             now, arrivals, busy_delta, completed_delta,
             counts["active"], counts["warming"], counts["draining"])
+        if self.tracer is not None:
+            self.tracer.instant(f"autoscaler.{decision['action']}", ts=now,
+                                category="autoscaler", lane="autoscaler",
+                                process="cluster",
+                                attrs={key: decision[key] for key in
+                                       ("action", "count", "desired",
+                                        "active", "warming", "draining",
+                                        "rate_rps", "utilization")})
         if decision["action"] == "scale_up":
             for _ in range(decision["count"]):
                 replica = self._spawn(WARMING, now)
@@ -285,9 +308,21 @@ class ClusterSimulation:
 
 
 def run_cluster_sim(trace: Trace, config: Optional[ClusterConfig] = None,
-                    report_path=None) -> Dict:
-    """One-call entry point: simulate ``trace`` and optionally save JSON."""
-    report = ClusterSimulation(config).run(trace)
+                    report_path=None, tracer=None, trace_path=None) -> Dict:
+    """One-call entry point: simulate ``trace`` and optionally save JSON.
+
+    ``trace_path`` additionally writes a Perfetto-loadable Chrome trace of
+    the simulated fleet (per-replica lanes, admission rejections,
+    autoscaler decisions); pass your own ``tracer`` instead to keep the
+    events in memory.  Tracing never changes the report — same trace, same
+    config, byte-identical JSON either way.
+    """
+    if tracer is None and trace_path is not None:
+        from ...obs import Tracer
+        tracer = Tracer()
+    report = ClusterSimulation(config, tracer=tracer).run(trace)
     if report_path is not None:
         save_cluster_report(report, report_path)
+    if trace_path is not None:
+        tracer.save(trace_path)
     return report

@@ -48,10 +48,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..diffusion import DiffusionPipeline
 from ..models import get_model_spec
+from ..profiling import GPU_V100, unet_layer_costs
 from ..tensor import Tensor
 from .batcher import Batch, BatchKey, DynamicBatcher
 from .embedding_cache import EmbeddingCache
@@ -79,7 +80,20 @@ class ServingEngine:
                  config: Optional[EngineConfig] = None,
                  embedding_cache: Optional[EmbeddingCache] = None,
                  stats: Optional[ServingStats] = None,
-                 clock: Callable[[], float] = time.perf_counter):
+                 clock: Callable[[], float] = time.perf_counter,
+                 tracer=None, trace_lane: Optional[str] = None,
+                 trace_process: str = "serving",
+                 trace_steps: bool = False,
+                 metrics=None):
+        """``tracer`` (:class:`repro.obs.Tracer`, default off) books the
+        request lifecycle — queue wait, batch build, embed, execute — as
+        spans on the ``(trace_process, trace_lane)`` track, plus one async
+        span per request; ``trace_steps`` additionally threads the tracer
+        into the sampler loop for per-step spans stamped with roofline
+        predictions.  ``metrics`` (:class:`repro.obs.MetricsRegistry`)
+        receives labeled counters/histograms for the same lifecycle.  All
+        telemetry timestamps come off the engine ``clock``, so a virtual-
+        clock engine traces in virtual time."""
         self.pool = pool
         self.router = router or SLORouter()
         self.config = config or EngineConfig()
@@ -95,6 +109,13 @@ class ServingEngine:
         self.embedding_cache = embedding_cache or EmbeddingCache(
             self.config.embedding_cache_capacity)
         self.stats = stats or ServingStats()
+        self.tracer = tracer if (tracer is not None
+                                 and getattr(tracer, "enabled", True)) else None
+        self.trace_lane = trace_lane
+        self.trace_process = trace_process
+        self.trace_steps = trace_steps
+        self.metrics = metrics
+        self._predicted_cache: Dict = {}
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -119,6 +140,18 @@ class ServingEngine:
             self.stats.record_rejection(tenant=request.tenant,
                                         tier=request.tier,
                                         reason="queue_full")
+            if self.tracer is not None:
+                self.tracer.instant("request.rejected",
+                                    ts=request.arrival_time,
+                                    category="admission",
+                                    lane=self.trace_lane,
+                                    process=self.trace_process,
+                                    attrs={"reason": "queue_full",
+                                           "tenant": request.tenant,
+                                           "tier": request.tier})
+            if self.metrics is not None:
+                self.metrics.counter("serving.rejections",
+                                     {"reason": "queue_full"}).inc()
             return False
         return True
 
@@ -135,6 +168,70 @@ class ServingEngine:
         # generate_batch call, so one pooled variant serves every routed
         # plan without rebuilding pipelines.
         return self.pool.get(key.model, key.scheme)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def _predicted_seconds(self, pipeline: DiffusionPipeline,
+                           key: BatchKey) -> Optional[float]:
+        """Roofline end-to-end seconds for this batch key (cached).
+
+        Stamped onto execute/step spans so the calibration report can
+        compare the cost model's prediction against the measured span —
+        priced on the reference device profile, so only relative error is
+        meaningful.
+        """
+        cache_key = (key.model, key.scheme, key.plan.fingerprint())
+        if cache_key not in self._predicted_cache:
+            from ..diffusion.samplers import get_sampler_info
+            from ..obs.calibration import predict_plan_seconds
+            info = get_sampler_info(key.plan.sampler)
+            try:
+                costs = unet_layer_costs(
+                    pipeline.spec.unet,
+                    sample_size=pipeline.spec.sample_shape[-1])
+                predicted = predict_plan_seconds(
+                    costs, GPU_V100, key.scheme, pipeline.num_steps,
+                    guidance_scale=key.plan.guidance_scale,
+                    solver_evals_per_step=info.evals_per_step,
+                    first_order_final_step=info.first_order_final_step)
+            except (AttributeError, KeyError, ValueError):
+                # Pipeline stand-ins (e.g. the cluster's SimPipeline) have
+                # no spec to price; their cost model prices batches itself.
+                predicted = None
+            self._predicted_cache[cache_key] = predicted
+        return self._predicted_cache[cache_key]
+
+    def _trace_batch(self, batch: Batch, started: float, finished: float,
+                     num_steps: int, embed_started: Optional[float],
+                     embed_finished: Optional[float],
+                     pipeline: DiffusionPipeline) -> None:
+        """Book the batch lifecycle segments on the engine's trace lane."""
+        lane, process = self.trace_lane, self.trace_process
+        arrivals = [request.arrival_time for request in batch.requests
+                    if request.arrival_time is not None]
+        attrs = {"model": batch.key.model, "scheme": batch.key.scheme,
+                 "sampler": batch.key.plan.sampler, "num_steps": num_steps,
+                 "batch_size": len(batch)}
+        if arrivals:
+            self.tracer.add_span("batch.build", min(arrivals),
+                                 batch.formed_at, category="batch",
+                                 lane=lane, process=process, attrs=attrs)
+        if started > batch.formed_at:
+            self.tracer.add_span("batch.dispatch", batch.formed_at, started,
+                                 category="batch", lane=lane, process=process,
+                                 attrs={"batch_size": len(batch)})
+        if embed_started is not None:
+            self.tracer.add_span("batch.embed", embed_started, embed_finished,
+                                 category="batch", lane=lane, process=process,
+                                 attrs={"batch_size": len(batch)})
+        exec_attrs = dict(attrs)
+        predicted = self._predicted_seconds(pipeline, batch.key)
+        if predicted is not None:
+            exec_attrs["predicted_s"] = predicted
+        self.tracer.add_span("batch.execute", started, finished,
+                             category="batch", lane=lane, process=process,
+                             attrs=exec_attrs)
 
     def complete_batch(self, batch: Batch,
                        started: Optional[float] = None,
@@ -154,14 +251,37 @@ class ServingEngine:
         pipeline = self._pipeline_for(batch.key)
         context = None
         hit_flags: Optional[List[bool]] = None
+        embed_started = embed_finished = None
         if pipeline.is_text_to_image:
+            if self.tracer is not None:
+                embed_started = self.clock()
             prompts = [request.prompt for request in batch.requests]
             contexts, hit_flags = self.embedding_cache.get_contexts(
                 batch.key.model, pipeline, prompts)
             context = Tensor(contexts)
+            if self.tracer is not None:
+                embed_finished = self.clock()
         seeds = [request.seed for request in batch.requests]
-        images = pipeline.generate_batch(seeds, context=context,
-                                         plan=batch.key.plan)
+        step_tracer = self.tracer if self.trace_steps else None
+        step_attrs = None
+        if step_tracer is not None:
+            step_attrs = {"model": batch.key.model,
+                          "scheme": batch.key.scheme,
+                          "batch_size": len(batch)}
+            predicted = self._predicted_seconds(pipeline, batch.key)
+            if predicted is not None:
+                step_attrs["predicted_step_s"] = (
+                    predicted / max(pipeline.num_steps, 1))
+        if step_tracer is None:
+            # Keep the call identical to the pre-telemetry spelling so
+            # pipeline stand-ins without the tracer kwargs keep working.
+            images = pipeline.generate_batch(seeds, context=context,
+                                             plan=batch.key.plan)
+        else:
+            images = pipeline.generate_batch(seeds, context=context,
+                                             plan=batch.key.plan,
+                                             tracer=step_tracer,
+                                             step_attrs=step_attrs)
         if finished is None:
             finished = self.clock()
         self.stats.mark_finish(finished)
@@ -177,6 +297,14 @@ class ServingEngine:
             num_steps=num_steps, batch_size=len(batch),
             latency=batch_latency, sampler=plan.sampler,
             guidance_scale=plan.guidance_scale, eta=plan.eta))
+        if self.tracer is not None:
+            self._trace_batch(batch, started, finished, num_steps,
+                              embed_started, embed_finished, pipeline)
+        if self.metrics is not None:
+            self.metrics.histogram("serving.batch_latency_s",
+                                   {"scheme": batch.key.scheme}) \
+                .observe(batch_latency)
+            self.metrics.histogram("serving.batch_size").observe(len(batch))
 
         responses: List[Response] = []
         for position, request in enumerate(batch.requests):
@@ -199,6 +327,21 @@ class ServingEngine:
                 plan=plan)
             responses.append(response)
             slo_met = response.meets_slo(request.latency_slo)
+            if self.tracer is not None and arrival is not None:
+                self.tracer.async_span(
+                    "request", request.request_id, arrival, finished,
+                    category="request", lane=self.trace_lane,
+                    process=self.trace_process,
+                    attrs={"scheme": batch.key.scheme,
+                           "tenant": request.tenant, "tier": request.tier,
+                           "queue_wait_s": queue_wait,
+                           "dispatch_wait_s": dispatch_wait,
+                           "slo_met": slo_met})
+            if self.metrics is not None:
+                self.metrics.counter("serving.requests",
+                                     {"scheme": batch.key.scheme}).inc()
+                self.metrics.histogram("serving.queue_wait_s") \
+                    .observe(queue_wait)
             if self.stats.keep_records:
                 self.stats.record_request(RequestRecord(
                     request_id=request.request_id, model=batch.key.model,
