@@ -7,8 +7,6 @@ calibration data should not make the learned rounding worse, and even a
 single sample should beat nothing (round-to-nearest).
 """
 
-import numpy as np
-
 from conftest import BENCH_SETTINGS, write_result
 
 from repro import nn

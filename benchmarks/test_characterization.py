@@ -13,7 +13,6 @@ from repro.experiments import Runner, Stage, StageGraph
 from repro.models import get_model_spec
 from repro.profiling import (
     BYTES_FP8,
-    BYTES_FP32,
     GPU_V100,
     estimate_latency,
     paper_scale_stable_diffusion_config,

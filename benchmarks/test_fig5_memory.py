@@ -12,7 +12,6 @@ from conftest import write_result
 
 from repro.profiling import (
     BYTES_FP8,
-    BYTES_FP32,
     estimate_peak_memory,
     memory_vs_batch_size,
     paper_scale_stable_diffusion_config,

@@ -1,0 +1,40 @@
+"""Repo-aware static analysis: prove invariants before runtime.
+
+The runtime test suite asserts that serving reports are byte-identical,
+that stage caches hit, that disabled tracing is free.  This package proves
+the *preconditions* for those properties statically, over the AST, so a
+violation fails CI at the diff that introduces it instead of as a flaky
+repro three PRs later.
+
+Rules (see ``repro/analysis/checkers/``):
+
+- ``determinism`` — no wall clocks / global RNG in virtual-time modules
+- ``stage-purity`` — stage-reachable code does no I/O outside the RunStore
+- ``fingerprint-coverage`` — ``fingerprint()`` hashes every field
+- ``tracer-discipline`` — tracing is zero-cost when disabled
+- ``shim-drift`` — legacy shims forward every replacement keyword
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis src --json report.json
+
+Suppress a finding in source with ``# repro: allow[rule] -- reason``;
+grandfather pre-existing debt in ``benchmarks/baselines/
+analysis_baseline.json`` (the gate fails only on *new* findings).
+"""
+
+from .baseline import (BASELINE_SCHEMA, diff_against_baseline, load_baseline,
+                       save_baseline)
+from .config import DEFAULT_CONFIG, AnalysisConfig, ShimPair
+from .findings import REPORT_SCHEMA, AnalysisReport, Finding
+from .project import Module, Project, parse_pragmas
+from .registry import (Checker, available_checkers, get_checker,
+                       register_checker, run_checkers)
+
+__all__ = [
+    "AnalysisConfig", "AnalysisReport", "BASELINE_SCHEMA", "Checker",
+    "DEFAULT_CONFIG", "Finding", "Module", "Project", "REPORT_SCHEMA",
+    "ShimPair", "available_checkers", "diff_against_baseline",
+    "get_checker", "load_baseline", "parse_pragmas", "register_checker",
+    "run_checkers", "save_baseline",
+]

@@ -1,0 +1,90 @@
+"""Baseline: the committed set of grandfathered findings.
+
+The gate fails on *new* findings only.  Pre-existing ones are recorded in a
+committed JSON baseline and matched by :meth:`Finding.identity` — rule,
+path, symbol and message, but **not** line/column — so unrelated edits
+that move code never churn the baseline.  Matching is multiset-style: two
+identical findings in one function need two baseline entries.
+
+Stale entries (baselined findings that no longer occur) are reported so
+the grandfathered set only ever shrinks; ``--update-baseline`` rewrites
+the file from the current findings, which is also how the set shrinks to
+zero over time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+BASELINE_SCHEMA = "repro.analysis.baseline/v1"
+
+
+def load_baseline(path) -> List[Finding]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text())
+    schema = data.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema '{BASELINE_SCHEMA}', got '{schema}'")
+    return [Finding.from_dict(entry) for entry in data.get("findings", [])]
+
+
+def save_baseline(path, findings: Sequence[Finding]) -> Path:
+    """Write ``findings`` as the new baseline (sorted, lines included for
+    human orientation only — matching ignores them)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ordered = sorted(findings,
+                     key=lambda f: (f.path, f.rule, f.symbol or "", f.message))
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [finding.to_dict() for finding in ordered],
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def diff_against_baseline(
+        findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> Tuple[List[Finding], List[Finding], List[Dict]]:
+    """Split ``findings`` into (new, baselined); also return stale entries.
+
+    Multiset semantics on :meth:`Finding.identity`: each baseline entry
+    absolves at most one current finding.
+    """
+    budget = Counter(entry.identity() for entry in baseline)
+    new: List[Finding] = []
+    matched: List[Finding] = []
+    for finding in findings:
+        identity = finding.identity()
+        if budget.get(identity, 0) > 0:
+            budget[identity] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale: List[Dict] = []
+    remaining = Counter(budget)
+    for entry in baseline:
+        identity = entry.identity()
+        if remaining.get(identity, 0) > 0:
+            remaining[identity] -= 1
+            stale.append(entry.to_dict())
+    return new, matched, stale
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline_path: Optional[Path]
+                   ) -> Tuple[List[Finding], List[Finding], List[Dict]]:
+    """Convenience wrapper: no baseline path means everything is new."""
+    if baseline_path is None:
+        return list(findings), [], []
+    baseline = load_baseline(baseline_path)
+    return diff_against_baseline(findings, baseline)

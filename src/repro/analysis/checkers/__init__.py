@@ -1,0 +1,5 @@
+"""Built-in checkers; importing this package registers all of them."""
+
+from . import determinism, fingerprints, purity, shims, tracing
+
+__all__ = ["determinism", "fingerprints", "purity", "shims", "tracing"]

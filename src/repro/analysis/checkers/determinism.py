@@ -1,0 +1,159 @@
+"""Rule ``determinism``: no ambient time or entropy in virtual-time modules.
+
+The serving tier, the cluster simulator, the experiment stage builders and
+the sampler loops are all asserted byte-identical across same-seed runs in
+CI.  That guarantee holds exactly as long as none of that code reads a wall
+clock or an unseeded RNG: a single ``time.time()`` turns a reproducible
+10^6-request cluster report into a flaky one, and an unseeded
+``default_rng()`` silently decouples an artifact from its content key.
+
+What is flagged, in modules the config declares virtual-time:
+
+* any *use* of a wall-clock callable (``time.time``, ``time.monotonic``,
+  ``time.perf_counter`` and friends, ``datetime.now``/``utcnow``/``today``)
+  — referencing one is as bad as calling it, since storing it in a
+  variable or passing it as an argument reintroduces ambient time;
+* any use of the process-global RNG APIs (``random.random``,
+  ``np.random.rand``, ``np.random.seed``, ...), whose state is shared
+  mutable ambience by construction;
+* calling an RNG *factory* with no seed (``np.random.default_rng()``,
+  ``random.Random()``).
+
+The one sanctioned position is a **function-signature default**
+(``def __init__(self, clock=time.perf_counter)``): that is the
+clock-injection idiom — ambient time may only enter through a parameter a
+caller can override with a :class:`~repro.serving.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..config import AnalysisConfig
+from ..findings import Finding
+from ..imports import import_map, resolve_attribute
+from ..project import Module, Project
+from ..registry import Checker, register_checker
+
+#: Callables whose mere presence in a virtual-time module breaks the
+#: determinism contract.
+WALL_CLOCKS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Process-global RNG entry points (shared hidden state).
+GLOBAL_RNG = frozenset(
+    {f"random.{name}" for name in (
+        "random", "randint", "randrange", "uniform", "gauss",
+        "normalvariate", "shuffle", "choice", "choices", "sample", "seed",
+        "getrandbits", "betavariate", "expovariate", "triangular",
+        "vonmisesvariate", "paretovariate", "weibullvariate")}
+    | {f"numpy.random.{name}" for name in (
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "standard_normal", "normal", "uniform", "choice",
+        "shuffle", "permutation", "get_state", "set_state")})
+
+#: RNG factories that are fine seeded and flagged when called with no
+#: arguments.
+SEEDABLE_FACTORIES = frozenset({
+    "numpy.random.default_rng", "random.Random", "numpy.random.RandomState",
+})
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = ("virtual-time modules must not read wall clocks or "
+                   "unseeded/global RNG (signature defaults excepted)")
+
+    def check(self, project: Project,
+              config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            if not config.is_virtual_time(module.pkg_path):
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_module(self, module: Module) -> List[Finding]:
+        mapping = import_map(module)
+        findings: List[Finding] = []
+        default_nodes = _signature_default_nodes(module.tree)
+
+        for node, symbol in _walk_with_symbols(module.tree):
+            if id(node) in default_nodes:
+                continue
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                # Only report the *outermost* attribute chain; the walk
+                # revisits inner nodes, which the dotted-name check skips
+                # because partial chains don't resolve to forbidden names.
+                dotted = resolve_attribute(node, mapping)
+                if dotted is None:
+                    continue
+                if dotted in WALL_CLOCKS:
+                    findings.append(self._finding(
+                        module, node, symbol,
+                        f"wall-clock '{dotted}' used in a virtual-time "
+                        f"module; inject a clock parameter instead"))
+                elif dotted in GLOBAL_RNG:
+                    findings.append(self._finding(
+                        module, node, symbol,
+                        f"process-global RNG '{dotted}' used in a "
+                        f"virtual-time module; pass a seeded Generator"))
+            elif isinstance(node, ast.Call):
+                dotted = resolve_attribute(node.func, mapping)
+                if (dotted in SEEDABLE_FACTORIES and not node.args
+                        and not node.keywords):
+                    findings.append(self._finding(
+                        module, node, symbol,
+                        f"unseeded '{dotted}()' in a virtual-time module; "
+                        f"derive the seed from the stage inputs/config"))
+        return findings
+
+    @staticmethod
+    def _finding(module: Module, node: ast.AST, symbol: str,
+                 message: str) -> Finding:
+        return Finding(rule="determinism", path=module.rel_path,
+                       line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0),
+                       message=message, symbol=symbol or None)
+
+
+# ----------------------------------------------------------------------
+# AST helpers (shared shape with the other checkers, kept local for
+# readability — each checker reads top to bottom on its own)
+# ----------------------------------------------------------------------
+def _signature_default_nodes(tree: ast.Module) -> Set[int]:
+    """ids of every node inside a function-signature default expression."""
+    allowed: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None]
+            for default in defaults:
+                for child in ast.walk(default):
+                    allowed.add(id(child))
+    return allowed
+
+
+def _walk_with_symbols(tree: ast.Module):
+    """Yield (node, enclosing qualname) over the whole module."""
+
+    def visit(node: ast.AST, qualname: str):
+        for child in ast.iter_child_nodes(node):
+            child_qualname = qualname
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_qualname = (f"{qualname}.{child.name}"
+                                  if qualname else child.name)
+            yield child, child_qualname
+            yield from visit(child, child_qualname)
+
+    yield from visit(tree, "")

@@ -1,0 +1,149 @@
+"""Rule ``shim-drift``: legacy entry points must keep up with their
+replacements.
+
+The repo keeps backwards-compatible shims alive (``run_quantization_table``
+over ``run_experiment``, the ``use_ddpm`` spellings over
+:class:`~repro.diffusion.plan.GenerationPlan`).  The failure mode is
+well-known: the replacement grows a keyword (``tracer=``, ``use_cache=``),
+the shim never learns it, and every legacy caller silently loses the
+feature — or worse, passes it and gets a ``TypeError`` two layers deep.
+
+For each configured :class:`~repro.analysis.config.ShimPair` the checker
+resolves both callables in the parsed project and reports:
+
+* a replacement parameter (minus the pair's ``exempt`` list) the shim
+  neither declares nor can forward via ``**kwargs``;
+* a shim parameter that is never referenced in the shim body — accepted
+  and dropped on the floor, which is drift wearing a trench coat;
+* a pair whose shim or replacement no longer resolves — the shim was
+  removed but the config entry lingers (or a rename broke the pair).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from ..config import AnalysisConfig, ShimPair
+from ..findings import Finding
+from ..project import Module, Project
+from ..registry import Checker, register_checker
+
+
+def _resolve(project: Project,
+             dotted: str) -> Optional[Tuple[Module, ast.FunctionDef, str]]:
+    """Resolve ``pkg.module.func`` / ``pkg.module.Class.method``."""
+    parts = dotted.split(".")
+    for cut in range(len(parts) - 1, 0, -1):
+        module = project.module("repro." + ".".join(parts[:cut]))
+        if module is None:
+            continue
+        remainder = parts[cut:]
+        scope = module.tree.body
+        qualname_parts: List[str] = []
+        node: Optional[ast.AST] = None
+        for i, name in enumerate(remainder):
+            node = next((item for item in scope
+                         if isinstance(item, (ast.FunctionDef,
+                                              ast.AsyncFunctionDef,
+                                              ast.ClassDef))
+                         and item.name == name), None)
+            if node is None:
+                return None
+            qualname_parts.append(name)
+            if isinstance(node, ast.ClassDef) and i < len(remainder) - 1:
+                scope = node.body
+            elif i < len(remainder) - 1:
+                return None
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return module, node, ".".join(qualname_parts)
+        return None
+    return None
+
+
+def _parameters(func: ast.FunctionDef) -> Tuple[Set[str], bool]:
+    """(named parameters minus self/cls, has **kwargs)."""
+    args = func.args
+    names = [arg.arg for arg in args.posonlyargs + args.args
+             + args.kwonlyargs]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return set(names), args.kwarg is not None
+
+
+@register_checker
+class ShimDriftChecker(Checker):
+    name = "shim-drift"
+    description = ("legacy shims must accept (or **kwargs-forward) every "
+                   "keyword of their replacement and use every parameter "
+                   "they declare")
+
+    def check(self, project: Project,
+              config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for pair in config.shim_pairs:
+            findings.extend(self._check_pair(project, pair))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _check_pair(self, project: Project,
+                    pair: ShimPair) -> List[Finding]:
+        shim = _resolve(project, pair.shim)
+        replacement = _resolve(project, pair.replacement)
+        if shim is None and replacement is None:
+            # Neither half is in the analyzed tree (partial run over a
+            # subdirectory, or a fixture tree) — nothing to compare.
+            return []
+        if shim is None or replacement is None:
+            # Exactly one half resolves: a rename/removal broke the pair.
+            missing = pair.shim if shim is None else pair.replacement
+            anchor = shim or replacement
+            module, node, qualname = anchor
+            return [Finding(
+                rule="shim-drift", path=module.rel_path,
+                line=node.lineno, col=node.col_offset,
+                message=(f"shim pair {pair.shim} -> {pair.replacement}: "
+                         f"'{missing}' does not resolve; fix or drop the "
+                         f"config entry"),
+                symbol=qualname)]
+
+        shim_module, shim_node, shim_qualname = shim
+        _, replacement_node, _ = replacement
+        shim_params, has_kwargs = _parameters(shim_node)
+        replacement_params, _ = _parameters(replacement_node)
+
+        findings: List[Finding] = []
+        if not has_kwargs:
+            missing_params = sorted(
+                replacement_params - set(pair.exempt) - shim_params)
+            # *args/**kwargs of the replacement are not forwardable
+            # keywords; ignore them.
+            replacement_varargs = {
+                arg.arg for arg in
+                (replacement_node.args.vararg, replacement_node.args.kwarg)
+                if arg is not None}
+            missing_params = [name for name in missing_params
+                              if name not in replacement_varargs]
+            for name in missing_params:
+                findings.append(Finding(
+                    rule="shim-drift", path=shim_module.rel_path,
+                    line=shim_node.lineno, col=shim_node.col_offset,
+                    message=(f"shim '{shim_qualname}' does not accept "
+                             f"keyword '{name}' of its replacement "
+                             f"'{pair.replacement}'"),
+                    symbol=shim_qualname))
+
+        referenced = {node.id for node in ast.walk(shim_node)
+                      if isinstance(node, ast.Name)}
+        for name in sorted(shim_params - referenced):
+            findings.append(Finding(
+                rule="shim-drift", path=shim_module.rel_path,
+                line=shim_node.lineno, col=shim_node.col_offset,
+                message=(f"shim '{shim_qualname}' accepts '{name}' but "
+                         f"never forwards it"),
+                symbol=shim_qualname))
+        return findings

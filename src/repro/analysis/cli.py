@@ -1,0 +1,137 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit code is 0 when every finding is baselined or suppressed, 1 when any
+*new* finding exists (or a file fails to parse), 2 on usage errors.  The
+JSON report (``repro.analysis/v1``) is the machine interface CI consumes;
+stdout is for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import apply_baseline, save_baseline
+from .config import AnalysisConfig
+from .findings import AnalysisReport
+from .project import Project
+from .registry import available_checkers, run_checkers
+
+DEFAULT_BASELINE = "benchmarks/baselines/analysis_baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=("Repo-aware static analysis: determinism, stage "
+                     "purity, fingerprint coverage, tracer discipline, "
+                     "shim drift."))
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated subset of rules to run (default: all)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON file overriding the built-in AnalysisConfig")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=(f"baseline of grandfathered findings (default: "
+              f"{DEFAULT_BASELINE} when it exists)"))
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline; every finding is new")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="write the repro.analysis/v1 JSON report here")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-finding lines; print the summary only")
+    return parser
+
+
+def _resolve_baseline(args) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.exists() else None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name, description in available_checkers():
+            print(f"{name:22s} {description}")
+        return 0
+
+    config = (AnalysisConfig.from_file(args.config) if args.config
+              else AnalysisConfig())
+    rules = ([rule.strip() for rule in args.rules.split(",") if rule.strip()]
+             if args.rules else None)
+    try:
+        project = Project.load([Path(path) for path in args.paths])
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    findings, suppressed = run_checkers(project, config, rules)
+
+    if args.update_baseline:
+        target = (Path(args.baseline) if args.baseline
+                  else Path(DEFAULT_BASELINE))
+        save_baseline(target, findings)
+        print(f"baseline updated: {target} ({len(findings)} finding(s))")
+        return 0
+
+    baseline_path = _resolve_baseline(args)
+    new, baselined, stale = apply_baseline(findings, baseline_path)
+
+    rule_docs = [{"name": name, "description": description}
+                 for name, description in available_checkers()
+                 if rules is None or name in rules]
+    report = AnalysisReport(
+        roots=[str(path) for path in args.paths],
+        files_analyzed=len(project.modules),
+        rules=rule_docs,
+        findings=findings,
+        new_findings=new,
+        baselined=baselined,
+        suppressed_count=suppressed,
+        baseline_path=str(baseline_path) if baseline_path else None,
+        stale_baseline=stale)
+
+    if args.json_path:
+        report.save(args.json_path)
+
+    if not args.quiet:
+        for finding in new:
+            print(finding.format())
+    summary = (f"{len(findings)} finding(s): {len(new)} new, "
+               f"{len(baselined)} baselined, {suppressed} suppressed "
+               f"({report.files_analyzed} files)")
+    print(summary)
+    if stale:
+        print(f"note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} no longer match; "
+              f"run --update-baseline to shrink the baseline")
+    if new:
+        print("new findings fail the gate; fix them, add a "
+              "'# repro: allow[rule]' pragma with a reason, or (for "
+              "pre-existing debt only) re-baseline", file=sys.stderr)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Repo-specific configuration of the analysis pass.
+
+The checkers are generic AST machinery; everything this repository *means*
+by determinism, purity and shim compatibility lives here: which modules are
+declared virtual-time, which modules are sanctioned storage boundaries,
+which dataclass fields are presentation-only, which legacy entry points
+shadow which replacements.
+
+All module lists are fnmatch globs over the path relative to the ``repro``
+package (``serving/pool.py``, ``serving/cluster/*.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Sequence, Tuple
+
+
+def _matches(pkg_path: str, globs: Sequence[str]) -> bool:
+    return any(fnmatch(pkg_path, pattern) for pattern in globs)
+
+
+@dataclass
+class ShimPair:
+    """A legacy entry point and the replacement whose keywords it must carry."""
+
+    shim: str         # dotted path inside repro, e.g. "experiments.harness.run_quantization_table"
+    replacement: str  # dotted path of the replacement callable
+    #: Replacement parameters the shim legitimately does not expose
+    #: (derived internally, or meaningless for the legacy call shape).
+    exempt: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {"shim": self.shim, "replacement": self.replacement,
+                "exempt": list(self.exempt)}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ShimPair":
+        return cls(shim=data["shim"], replacement=data["replacement"],
+                   exempt=tuple(data.get("exempt", ())))
+
+
+@dataclass
+class AnalysisConfig:
+    """Everything the checkers need to know about this repository."""
+
+    # -- determinism ---------------------------------------------------
+    #: Modules that must never read wall clocks or unseeded RNG in code:
+    #: they are driven by VirtualClock / explicit seeds and their outputs
+    #: are asserted byte-identical in CI.
+    virtual_time_modules: Tuple[str, ...] = (
+        "serving/*.py",
+        "serving/cluster/*.py",
+        "experiments/stages.py",
+        "diffusion/samplers.py",
+    )
+    #: Clock-injection boundaries: modules whose *job* is to read wall
+    #: clocks and hand them to the rest of the system behind injectable
+    #: parameters.  Exempt from the determinism rule entirely.
+    clock_boundaries: Tuple[str, ...] = (
+        "profiling/latency.py",
+        "bench/timer.py",
+        "obs/tracer.py",
+    )
+
+    # -- stage purity --------------------------------------------------
+    #: Modules whose functions are the roots of the stage-purity walk:
+    #: every function statically reachable from here runs inside a
+    #: content-addressed stage, so hidden inputs corrupt cache keys.
+    stage_pure_roots: Tuple[str, ...] = (
+        "experiments/stages.py",
+        "experiments/variants.py",
+    )
+    #: Sanctioned storage boundaries: reachable code may enter these
+    #: modules (RunStore API, atomic checkpoint I/O, the content-keyed
+    #: zoo cache) without findings — their side effects are keyed by the
+    #: same content hashes as the stages themselves.
+    purity_boundaries: Tuple[str, ...] = (
+        "experiments/store.py",
+        "core/atomic.py",
+        "zoo/*.py",
+    )
+
+    # -- fingerprint coverage ------------------------------------------
+    #: Modules scanned for dataclasses exposing ``fingerprint()``.
+    fingerprint_modules: Tuple[str, ...] = ("*.py",)
+
+    # -- tracer discipline ---------------------------------------------
+    #: Modules scanned for tracing call sites.
+    tracer_modules: Tuple[str, ...] = ("*.py",)
+
+    # -- shim drift ----------------------------------------------------
+    shim_pairs: Tuple[ShimPair, ...] = (
+        ShimPair("experiments.harness.run_quantization_table",
+                 "experiments.runner.run_experiment", exempt=("spec",)),
+        ShimPair("experiments.harness.run_config_experiment",
+                 "experiments.runner.run_experiment", exempt=("spec",)),
+        ShimPair("experiments.harness.run_experiment_spec",
+                 "experiments.runner.run_experiment", exempt=("spec",)),
+        # The legacy use_ddpm spellings must keep accepting everything the
+        # plan-based core path takes.
+        ShimPair("diffusion.pipeline.DiffusionPipeline.generate",
+                 "diffusion.pipeline.DiffusionPipeline._run",
+                 exempt=("context_batches",)),
+        ShimPair("diffusion.pipeline.DiffusionPipeline.generate_from_prompts",
+                 "diffusion.pipeline.DiffusionPipeline._run",
+                 exempt=("context_batches", "num_images")),
+        # Pre-cluster spelling of the batch-execution path.
+        ShimPair("serving.engine.ServingEngine._process_batch",
+                 "serving.engine.ServingEngine.complete_batch",
+                 exempt=("started", "finished")),
+    )
+
+    # ------------------------------------------------------------------
+    def is_virtual_time(self, pkg_path: str) -> bool:
+        return (_matches(pkg_path, self.virtual_time_modules)
+                and not _matches(pkg_path, self.clock_boundaries))
+
+    def is_purity_boundary(self, pkg_path: str) -> bool:
+        return _matches(pkg_path, self.purity_boundaries)
+
+    def is_stage_pure_root(self, pkg_path: str) -> bool:
+        return _matches(pkg_path, self.stage_pure_roots)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "virtual_time_modules": list(self.virtual_time_modules),
+            "clock_boundaries": list(self.clock_boundaries),
+            "stage_pure_roots": list(self.stage_pure_roots),
+            "purity_boundaries": list(self.purity_boundaries),
+            "fingerprint_modules": list(self.fingerprint_modules),
+            "tracer_modules": list(self.tracer_modules),
+            "shim_pairs": [pair.to_dict() for pair in self.shim_pairs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AnalysisConfig":
+        kwargs = {}
+        for key in ("virtual_time_modules", "clock_boundaries",
+                    "stage_pure_roots", "purity_boundaries",
+                    "fingerprint_modules", "tracer_modules"):
+            if key in data:
+                kwargs[key] = tuple(data[key])
+        if "shim_pairs" in data:
+            kwargs["shim_pairs"] = tuple(ShimPair.from_dict(pair)
+                                         for pair in data["shim_pairs"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_file(cls, path) -> "AnalysisConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+DEFAULT_CONFIG = AnalysisConfig()
+
+
+#: Names that may appear in rule configuration (documented in README).
+__all__ = ["AnalysisConfig", "ShimPair", "DEFAULT_CONFIG"]

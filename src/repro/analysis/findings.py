@@ -1,0 +1,112 @@
+"""Findings: what a checker reports, and the JSON report around them.
+
+A :class:`Finding` pins one rule violation to a file, line and symbol.  Its
+:meth:`Finding.identity` deliberately excludes the line/column so findings
+stay matched against the committed baseline while unrelated edits move code
+around — the same stability property the experiment store gets from content
+keys instead of file paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Schema tag written into every JSON report (bump on breaking changes).
+REPORT_SCHEMA = "repro.analysis/v1"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str                    # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    symbol: Optional[str] = None  # enclosing function/class qualname
+
+    def identity(self) -> Tuple[str, str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol or "", self.message)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "symbol": self.symbol, "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Finding":
+        return cls(rule=data["rule"], path=data["path"],
+                   line=data.get("line", 0), col=data.get("col", 0),
+                   message=data["message"], symbol=data.get("symbol"))
+
+    def format(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.location()}: {self.rule}: {self.message}{where}"
+
+
+@dataclass
+class AnalysisReport:
+    """The full result of one analysis run, serializable as ``repro.analysis/v1``."""
+
+    roots: List[str]
+    files_analyzed: int
+    rules: List[Dict]                      # [{"name", "description"}]
+    findings: List[Finding] = field(default_factory=list)
+    new_findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    baseline_path: Optional[str] = None
+    #: Baseline entries that no longer match any finding — candidates for
+    #: removal so the grandfathered set only ever shrinks.
+    stale_baseline: List[Dict] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.new_findings else 0
+
+    def per_rule_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "roots": list(self.roots),
+            "files_analyzed": self.files_analyzed,
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "new_findings": [finding.to_dict()
+                             for finding in self.new_findings],
+            "baseline": {
+                "path": self.baseline_path,
+                "matched": [finding.to_dict() for finding in self.baselined],
+                "stale": list(self.stale_baseline),
+            },
+            "summary": {
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.baselined),
+                "suppressed": self.suppressed_count,
+                "per_rule": self.per_rule_counts(),
+            },
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path

@@ -1,0 +1,92 @@
+"""Checker registry and the analysis driver.
+
+A checker is a class with a ``name``, a ``description`` and a
+``check(project, config) -> List[Finding]`` method, registered via
+:func:`register_checker` (mirroring the scheme/sampler/workload registries
+elsewhere in the repo).  :func:`run_checkers` runs a selection of them over
+a parsed :class:`~repro.analysis.project.Project`, applies the pragma
+suppressions and returns the surviving findings sorted by location.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from .config import AnalysisConfig
+from .findings import Finding
+from .project import Project
+
+_CHECKERS: Dict[str, Type] = {}
+
+
+class Checker:
+    """Base class; subclasses set ``name``/``description`` and ``check``."""
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, project: Project,
+              config: AnalysisConfig) -> List[Finding]:
+        raise NotImplementedError
+
+
+def register_checker(cls: Type) -> Type:
+    """Class decorator registering a checker under its ``name``."""
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"checker {cls.__name__} needs a non-empty name")
+    if cls.name in _CHECKERS:
+        raise ValueError(f"duplicate checker name '{cls.name}'")
+    _CHECKERS[cls.name] = cls
+    return cls
+
+
+def available_checkers() -> List[Tuple[str, str]]:
+    """(name, description) for every registered checker, sorted by name."""
+    _ensure_builtin_checkers()
+    return sorted((cls.name, cls.description)
+                  for cls in _CHECKERS.values())
+
+
+def get_checker(name: str) -> Checker:
+    _ensure_builtin_checkers()
+    try:
+        return _CHECKERS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_CHECKERS))
+        raise KeyError(f"unknown checker '{name}'; known: {known}") from None
+
+
+def _ensure_builtin_checkers() -> None:
+    # Imported lazily so `import repro.analysis.registry` never cycles with
+    # the checker modules (which import Checker/register_checker from here).
+    from . import checkers  # noqa: F401
+
+
+def run_checkers(project: Project, config: Optional[AnalysisConfig] = None,
+                 rules: Optional[Sequence[str]] = None
+                 ) -> Tuple[List[Finding], int]:
+    """Run checkers over ``project``; returns (findings, suppressed count).
+
+    ``rules=None`` runs every registered checker.  Pragma-suppressed
+    findings are dropped (counted), parse errors from project loading are
+    prepended as ``syntax`` findings (never suppressible).
+    """
+    _ensure_builtin_checkers()
+    config = config or AnalysisConfig()
+    names = list(rules) if rules is not None else [name for name, _
+                                                   in available_checkers()]
+    raw: List[Finding] = []
+    for name in names:
+        raw.extend(get_checker(name).check(project, config))
+
+    by_path = {module.rel_path: module for module in project.modules}
+    findings: List[Finding] = list(project.errors)
+    suppressed = 0
+    for finding in raw:
+        module = by_path.get(finding.path)
+        if module is not None and module.allows(finding.rule, finding.line):
+            suppressed += 1
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings, suppressed

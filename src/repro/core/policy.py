@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import fnmatch
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .calibration import quantizable_layer_paths
 from .schemes import SchemeLike, scheme_name

@@ -22,7 +22,6 @@ from typing import Optional
 import numpy as np
 
 from .. import nn
-from ..models import SkipConcat
 from ..tensor import Tensor, concatenate
 from ..tensor import functional as F
 from .formats import FPFormat

@@ -21,8 +21,8 @@ computes fingerprints; execution and manifests live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
 
 from ..core.hashing import content_hash
 

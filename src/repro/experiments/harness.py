@@ -71,7 +71,10 @@ def run_quantization_table(model_name: str,
                            settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
                            keep_images: bool = False,
                            store: Optional[RunStore] = None,
-                           max_workers: int = 1) -> TableResult:
+                           max_workers: int = 1,
+                           use_cache: bool = True,
+                           zoo_cache_dir=None,
+                           tracer=None) -> TableResult:
     """Reproduce one quantitative table (Tables II-V of the paper).
 
     Shim over the declarative API: equivalent to running
@@ -89,14 +92,18 @@ def run_quantization_table(model_name: str,
                                       keep_images=keep_images,
                                       name=f"table/{model_name}")
     run = run_experiment(spec, store=_resolve_store(store),
-                         max_workers=max_workers)
+                         max_workers=max_workers, use_cache=use_cache,
+                         zoo_cache_dir=zoo_cache_dir, tracer=tracer)
     return run.table
 
 
 def run_config_experiment(model_name: str, config: QuantizationConfig,
                           settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
                           store: Optional[RunStore] = None,
-                          max_workers: int = 1) -> ExperimentRow:
+                          max_workers: int = 1,
+                          use_cache: bool = True,
+                          zoo_cache_dir=None,
+                          tracer=None) -> ExperimentRow:
     """Run one arbitrary :class:`QuantizationConfig` (e.g. a policy-driven
     mixed-precision experiment) against the full-precision baseline.
 
@@ -116,16 +123,21 @@ def run_config_experiment(model_name: str, config: QuantizationConfig,
         with_clip=False,
         name=f"config/{model_name}")
     run = run_experiment(spec, store=_resolve_store(store),
-                         max_workers=max_workers)
+                         max_workers=max_workers, use_cache=use_cache,
+                         zoo_cache_dir=zoo_cache_dir, tracer=tracer)
     return run.table.rows[0]
 
 
 def run_experiment_spec(spec: ExperimentSpec,
                         store: Optional[RunStore] = None,
-                        max_workers: int = 1) -> ExperimentRun:
+                        max_workers: int = 1,
+                        use_cache: bool = True,
+                        zoo_cache_dir=None,
+                        tracer=None) -> ExperimentRun:
     """Run a declarative spec against the shared harness store."""
     return run_experiment(spec, store=_resolve_store(store),
-                          max_workers=max_workers)
+                          max_workers=max_workers, use_cache=use_cache,
+                          zoo_cache_dir=zoo_cache_dir, tracer=tracer)
 
 
 def run_sparsity_experiment(model_name: str,

@@ -17,13 +17,12 @@ pretrain stage per model", "second run is >= 90% cache hits").
 
 from __future__ import annotations
 
+import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
-
-import json
 
 from .graph import Stage, StageGraph
 from .spec import ExperimentSpec, TableResult

@@ -148,6 +148,16 @@ class RowSpec:
             return f"{base} [{self.plan.describe()}]"
         return base
 
+    def fingerprint(self) -> str:
+        """Content hash of the row's computation-affecting fields.
+
+        The display ``label`` override is excluded — it renames the table
+        row without changing any generated artifact.
+        """
+        data = self.to_dict()
+        data.pop("label")
+        return content_hash(data)
+
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         data = {
@@ -181,8 +191,10 @@ class ExperimentSpec:
     settings: BenchSettings = field(default_factory=BenchSettings)
     references: Tuple[str, ...] = KNOWN_REFERENCES
     with_clip: bool = True
-    keep_images: bool = False
-    name: Optional[str] = None
+    # Presentation-only: controls artifact retention, not artifact content.
+    keep_images: bool = False  # repro: allow[fingerprint-coverage]
+    # Presentation-only: display/manifest name, never a cache key.
+    name: Optional[str] = None  # repro: allow[fingerprint-coverage]
     #: Default generation plan for every row (and the full-precision
     #: reference generation); individual rows override it via their own
     #: ``plan``.  ``None`` keeps the historical DDIM trajectory.

@@ -37,7 +37,7 @@ from ..metrics import EvaluationResult, evaluate_images
 from ..models import build_model, get_model_spec
 from ..zoo import PretrainConfig, load_pretrained
 from .graph import Stage, StageGraph
-from .spec import ExperimentSpec, ExperimentRow, TableResult
+from .spec import ExperimentRow, ExperimentSpec, TableResult
 
 
 def _slug(text: str) -> str:

@@ -14,10 +14,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import nn
 from .autoencoder import Autoencoder
 from .text_encoder import TextEncoder
 from .unet import UNet, UNetConfig
-from .. import nn
 
 
 @dataclass

@@ -10,7 +10,7 @@ as the paper's characterization notes) and is kept in full precision.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -214,12 +214,13 @@ def run_cost_model_calibration(
             started = tracer.time()
             measurement = measure_latency(run, clock=clock, repeats=repeats)
             measured = measurement["best_s"]
-            tracer.add_span(f"calibrate.{workload}", started, tracer.time(),
-                            category="calibration", process="calibration",
-                            lane=scheme,
-                            attrs={"workload": workload, "scheme": scheme,
-                                   "predicted_s": predicted,
-                                   "measured_s": measured})
+            if tracer.enabled:
+                tracer.add_span(f"calibrate.{workload}", started,
+                                tracer.time(), category="calibration",
+                                process="calibration", lane=scheme,
+                                attrs={"workload": workload, "scheme": scheme,
+                                       "predicted_s": predicted,
+                                       "measured_s": measured})
             report.add(workload, scheme, predicted, measured,
                        repeats=repeats,
                        model_evals=plan_model_evals(

@@ -207,6 +207,8 @@ class ServingEngine:
                      embed_finished: Optional[float],
                      pipeline: DiffusionPipeline) -> None:
         """Book the batch lifecycle segments on the engine's trace lane."""
+        if self.tracer is None:
+            return
         lane, process = self.trace_lane, self.trace_process
         arrivals = [request.arrival_time for request in batch.requests
                     if request.arrival_time is not None]

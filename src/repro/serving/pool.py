@@ -71,7 +71,8 @@ class ModelVariantPool:
                  builder: Optional[Callable[[str, str], DiffusionPipeline]] = None,
                  cost_fn: Optional[Callable[[str, str], float]] = None,
                  run_store=None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None,
+                 fallback_clock: Callable[[], float] = time.perf_counter):
         """
         ``builder`` overrides how a ``(model, scheme)`` pipeline is built
         (tests inject stubs; production uses the zoo + quantizer default).
@@ -83,13 +84,15 @@ class ModelVariantPool:
         :class:`repro.experiments.RunStore`) makes the default builder load
         pre-quantized variants from the content-addressed artifact store,
         falling back to a cold quantize that populates the store.
-        ``clock`` stamps build/prewarm durations; ``None`` means wall time
-        until an engine adopts the pool, at which point the engine threads
-        its own (possibly virtual) clock through so the pool's timing stats
-        are deterministic whenever the engine's are.
+        ``clock`` stamps build/prewarm durations; ``None`` means
+        ``fallback_clock`` (wall time by default) until an engine adopts
+        the pool, at which point the engine threads its own (possibly
+        virtual) clock through so the pool's timing stats are
+        deterministic whenever the engine's are.
         """
         self.memory_budget_bytes = memory_budget_bytes
         self.clock = clock
+        self._fallback_clock = fallback_clock
         self.batch_size = batch_size
         self.pretrain = pretrain or PretrainConfig()
         self.cache_dir = cache_dir
@@ -113,7 +116,7 @@ class ModelVariantPool:
 
     # ------------------------------------------------------------------
     def _now(self) -> float:
-        return (self.clock or time.perf_counter)()
+        return (self.clock or self._fallback_clock)()
 
     @staticmethod
     def _default_quantization(scheme: str) -> QuantizationConfig:

@@ -38,8 +38,8 @@ from ..diffusion.plan import GenerationPlan
 from ..diffusion.samplers import get_sampler_info
 from ..models import get_model_spec
 from ..profiling import (
-    DeviceProfile,
     GPU_V100,
+    DeviceProfile,
     LayerCost,
     estimate_scheme_latency,
     plan_model_evals,

@@ -1,0 +1,727 @@
+"""Tests for the repro.analysis static-analysis subsystem.
+
+Each rule gets a fixture tree with a planted violation (mirroring the
+``src/repro`` layout so the path-glob config applies), plus tests for
+pragma suppression, baseline round-trips, the CLI contract, and a
+self-check that the shipped source tree is gate-clean.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    AnalysisReport,
+    Finding,
+    Project,
+    available_checkers,
+    diff_against_baseline,
+    load_baseline,
+    run_checkers,
+    save_baseline,
+)
+from repro.analysis.findings import REPORT_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_tree(root: Path, files) -> Path:
+    """Write ``{relative_path: source}`` under a src/repro-shaped tree."""
+    for rel, source in files.items():
+        path = root / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    # Package __init__ files so dotted names resolve.
+    for package in {parent for rel in files
+                    for parent in (Path(rel).parents)}:
+        init = root / "src" / "repro" / package / "__init__.py"
+        if not init.exists():
+            init.parent.mkdir(parents=True, exist_ok=True)
+            init.write_text("")
+    return root / "src"
+
+
+def analyze(root: Path, files, rules=None):
+    src = write_tree(root, files)
+    project = Project.load([src], repo_root=root)
+    findings, suppressed = run_checkers(project, AnalysisConfig(), rules)
+    return findings, suppressed
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# ----------------------------------------------------------------------
+# rule: determinism
+# ----------------------------------------------------------------------
+class TestDeterminismRule:
+    def test_wall_clock_in_virtual_time_module_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+        assert "time.time" in findings[0].message
+        assert findings[0].symbol == "tick"
+
+    def test_from_import_and_alias_are_resolved(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                from time import perf_counter
+                import numpy as np
+
+                def sample():
+                    started = perf_counter()
+                    noise = np.random.rand(4)
+                    return started, noise
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 2
+        messages = " ".join(finding.message for finding in findings)
+        assert "time.perf_counter" in messages
+        assert "numpy.random.rand" in messages
+
+    def test_signature_default_injection_is_allowed(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/pool.py": """
+                import time
+
+                class Pool:
+                    def __init__(self, clock=time.perf_counter):
+                        self.clock = clock
+
+                    def now(self):
+                        return self.clock()
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+
+    def test_unseeded_rng_factory_is_flagged_seeded_is_not(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "diffusion/samplers.py": """
+                import numpy as np
+
+                def good(seed):
+                    return np.random.default_rng(seed)
+
+                def bad():
+                    return np.random.default_rng()
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "bad"
+
+    def test_clock_boundary_modules_are_exempt(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "profiling/latency.py": """
+                import time
+
+                def stamp():
+                    return time.perf_counter()
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+
+    def test_non_virtual_time_modules_are_out_of_scope(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "bench/runner.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# rule: stage-purity
+# ----------------------------------------------------------------------
+class TestStagePurityRule:
+    def test_open_reachable_from_stage_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "experiments/stages.py": """
+                from .helpers import load_side_channel
+
+                def add_generate_stage(graph):
+                    def compute():
+                        return load_side_channel()
+                    graph.append(compute)
+            """,
+            "experiments/helpers.py": """
+                def load_side_channel():
+                    with open("/tmp/extra.json") as handle:
+                        return handle.read()
+            """,
+        }, rules=["stage-purity"])
+        assert len(findings) == 1
+        assert findings[0].path.endswith("experiments/helpers.py")
+        assert "open()" in findings[0].message
+
+    def test_environment_read_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "experiments/stages.py": """
+                import os
+
+                def add_stage(graph):
+                    def compute():
+                        return os.environ.get("REPRO_FAST", "0")
+                    graph.append(compute)
+            """,
+        }, rules=["stage-purity"])
+        assert len(findings) == 1
+        assert "os.environ" in findings[0].message
+
+    def test_module_global_mutation_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "experiments/stages.py": """
+                _CACHE = {}
+
+                def add_stage(graph):
+                    def compute(key):
+                        _CACHE[key] = 1
+                        return _CACHE
+                    graph.append(compute)
+            """,
+        }, rules=["stage-purity"])
+        assert len(findings) == 1
+        assert "_CACHE" in findings[0].message
+
+    def test_purity_boundary_modules_terminate_the_walk(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "experiments/stages.py": """
+                from .store import save_artifact
+
+                def add_stage(graph):
+                    def compute(payload):
+                        return save_artifact(payload)
+                    graph.append(compute)
+            """,
+            "experiments/store.py": """
+                def save_artifact(payload):
+                    with open("/tmp/artifact.json", "w") as handle:
+                        handle.write(payload)
+            """,
+        }, rules=["stage-purity"])
+        assert findings == []
+
+    def test_method_calls_through_constructed_locals_are_followed(
+            self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "experiments/stages.py": """
+                from ..diffusion.pipeline import Pipeline
+
+                def add_stage(graph):
+                    def compute():
+                        pipeline = Pipeline()
+                        return pipeline.generate()
+                    graph.append(compute)
+            """,
+            "diffusion/pipeline.py": """
+                import os
+
+                class Pipeline:
+                    def generate(self):
+                        return os.getenv("HIDDEN_KNOB")
+            """,
+        }, rules=["stage-purity"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "Pipeline.generate"
+
+
+# ----------------------------------------------------------------------
+# rule: fingerprint-coverage
+# ----------------------------------------------------------------------
+class TestFingerprintCoverageRule:
+    def test_field_missing_from_hand_built_payload_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/config.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Config:
+                    bits: int = 8
+                    rounding: str = "nearest"
+
+                    def fingerprint(self):
+                        return hash(("config", self.bits))
+            """,
+        }, rules=["fingerprint-coverage"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "Config.rounding"
+
+    def test_coverage_through_to_dict_helper(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/config.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Config:
+                    bits: int = 8
+                    rounding: str = "nearest"
+
+                    def to_dict(self):
+                        return {"bits": self.bits, "rounding": self.rounding}
+
+                    def fingerprint(self):
+                        return hash(str(self.to_dict()))
+            """,
+        }, rules=["fingerprint-coverage"])
+        assert findings == []
+
+    def test_asdict_covers_everything(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/config.py": """
+                from dataclasses import asdict, dataclass
+
+                @dataclass
+                class Config:
+                    bits: int = 8
+                    rounding: str = "nearest"
+
+                    def fingerprint(self):
+                        return hash(str(asdict(self)))
+            """,
+        }, rules=["fingerprint-coverage"])
+        assert findings == []
+
+    def test_dataclasses_without_fingerprint_are_ignored(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/config.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class Plain:
+                    bits: int = 8
+            """,
+        }, rules=["fingerprint-coverage"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# rule: tracer-discipline
+# ----------------------------------------------------------------------
+class TestTracerDisciplineRule:
+    def test_unguarded_dict_payload_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                class Engine:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                    def step(self, start, end):
+                        self.tracer.add_span("step", start, end,
+                                             attrs={"kind": "step"})
+            """,
+        }, rules=["tracer-discipline"])
+        assert len(findings) == 1
+        assert "dict literal" in findings[0].message
+
+    def test_is_not_none_guard_is_recognized(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                class Engine:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                    def step(self, start, end):
+                        if self.tracer is not None:
+                            self.tracer.add_span("step", start, end,
+                                                 attrs={"kind": "step"})
+            """,
+        }, rules=["tracer-discipline"])
+        assert findings == []
+
+    def test_early_return_narrowing_is_recognized(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                class Engine:
+                    def __init__(self, tracer=None):
+                        self.tracer = tracer
+
+                    def trace(self, start, end):
+                        if self.tracer is None:
+                            return
+                        self.tracer.add_span("a", start, end,
+                                             attrs={"kind": "a"})
+                        self.tracer.add_span("b", start, end,
+                                             attrs={"kind": "b"})
+            """,
+        }, rules=["tracer-discipline"])
+        assert findings == []
+
+    def test_live_tracer_default_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "obs/report.py": """
+                from .tracer import Tracer, NULL_TRACER
+
+                def fine(tracer=None):
+                    return tracer
+
+                def also_fine(tracer=NULL_TRACER):
+                    return tracer
+
+                def bad(tracer=Tracer()):
+                    return tracer
+            """,
+        }, rules=["tracer-discipline"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "bad"
+
+    def test_span_outside_with_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                def good(tracer, payload):
+                    with tracer.span("work"):
+                        return payload
+
+                def bad(tracer, payload):
+                    tracer.span("work")
+                    return payload
+            """,
+        }, rules=["tracer-discipline"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "bad"
+        assert "unbalanced span" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# rule: shim-drift
+# ----------------------------------------------------------------------
+class TestShimDriftRule:
+    @staticmethod
+    def _config():
+        from repro.analysis.config import ShimPair
+        return AnalysisConfig(shim_pairs=(
+            ShimPair("experiments.harness.legacy_run",
+                     "experiments.runner.modern_run", exempt=("spec",)),
+        ))
+
+    def _run(self, tmp_path, files):
+        src = write_tree(tmp_path, files)
+        project = Project.load([src], repo_root=tmp_path)
+        findings, _ = run_checkers(project, self._config(), ["shim-drift"])
+        return findings
+
+    def test_missing_replacement_keyword_is_flagged(self, tmp_path):
+        findings = self._run(tmp_path, {
+            "experiments/harness.py": """
+                from .runner import modern_run
+
+                def legacy_run(model, store=None):
+                    return modern_run(model, store=store)
+            """,
+            "experiments/runner.py": """
+                def modern_run(spec, store=None, tracer=None):
+                    return (spec, store, tracer)
+            """,
+        })
+        assert len(findings) == 1
+        assert "'tracer'" in findings[0].message
+
+    def test_forwarding_every_keyword_passes(self, tmp_path):
+        findings = self._run(tmp_path, {
+            "experiments/harness.py": """
+                from .runner import modern_run
+
+                def legacy_run(model, store=None, tracer=None):
+                    return modern_run(model, store=store, tracer=tracer)
+            """,
+            "experiments/runner.py": """
+                def modern_run(spec, store=None, tracer=None):
+                    return (spec, store, tracer)
+            """,
+        })
+        assert findings == []
+
+    def test_kwargs_forwarding_passes_but_dead_param_fails(self, tmp_path):
+        findings = self._run(tmp_path, {
+            "experiments/harness.py": """
+                from .runner import modern_run
+
+                def legacy_run(model, dead=None, **kwargs):
+                    return modern_run(model, **kwargs)
+            """,
+            "experiments/runner.py": """
+                def modern_run(spec, store=None, tracer=None):
+                    return (spec, store, tracer)
+            """,
+        })
+        assert len(findings) == 1
+        assert "'dead'" in findings[0].message
+        assert "never forwards" in findings[0].message
+
+    def test_unresolvable_pair_is_reported(self, tmp_path):
+        findings = self._run(tmp_path, {
+            "experiments/runner.py": """
+                def modern_run(spec, store=None):
+                    return (spec, store)
+            """,
+        })
+        assert len(findings) == 1
+        assert "does not resolve" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# pragmas and baseline
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_trailing_pragma_suppresses_and_is_counted(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()  # repro: allow[determinism]
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_standalone_previous_line_pragma(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    # repro: allow[determinism] -- measured on purpose
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+        assert suppressed == 1
+
+    def test_pragma_for_a_different_rule_does_not_suppress(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()  # repro: allow[stage-purity]
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 1
+        assert suppressed == 0
+
+    def test_wildcard_pragma_suppresses_everything(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()  # repro: allow[*]
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+        assert suppressed == 1
+
+
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding("determinism", "src/repro/serving/a.py", 10, 4,
+                    "wall-clock 'time.time' used", symbol="tick"),
+            Finding("stage-purity", "src/repro/metrics/b.py", 20, 0,
+                    "'global' rebinding", symbol="default_extractor"),
+        ]
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, self._findings())
+        assert load_baseline(path) == sorted(
+            self._findings(), key=lambda f: f.path)
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, self._findings())
+        moved = [Finding("determinism", "src/repro/serving/a.py", 99, 8,
+                         "wall-clock 'time.time' used", symbol="tick")]
+        new, matched, stale = diff_against_baseline(
+            moved, load_baseline(path))
+        assert new == []
+        assert len(matched) == 1
+        assert len(stale) == 1  # the stage-purity entry no longer occurs
+
+    def test_new_findings_are_not_absolved(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, self._findings()[:1])
+        current = self._findings() + [
+            Finding("determinism", "src/repro/serving/c.py", 1, 0,
+                    "wall-clock 'time.monotonic' used", symbol="other")]
+        new, matched, _ = diff_against_baseline(current, load_baseline(path))
+        assert len(matched) == 1
+        assert len(new) == 2
+
+    def test_multiset_matching(self, tmp_path):
+        duplicate = Finding("determinism", "src/repro/serving/a.py", 10, 4,
+                            "wall-clock 'time.time' used", symbol="tick")
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [duplicate])
+        new, matched, _ = diff_against_baseline(
+            [duplicate, duplicate], load_baseline(path))
+        assert len(matched) == 1 and len(new) == 1
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "missing.json") == []
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": "bogus/v9", "findings": []}))
+        with pytest.raises(ValueError, match="bogus/v9"):
+            load_baseline(path)
+
+
+# ----------------------------------------------------------------------
+# CLI contract
+# ----------------------------------------------------------------------
+def run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+
+
+class TestCli:
+    def test_violation_fails_and_report_is_written(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()
+            """,
+        })
+        report_path = tmp_path / "report.json"
+        result = run_cli(["src", "--no-baseline",
+                          "--json", str(report_path)], cwd=tmp_path)
+        assert result.returncode == 1
+        assert "determinism" in result.stdout
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["summary"]["new"] == 1
+        assert report["summary"]["per_rule"]["determinism"] == 1
+        assert report["findings"][0]["path"].endswith("sim.py")
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/cluster/sim.py": """
+                def tick(clock):
+                    return clock()
+            """,
+        })
+        result = run_cli(["src", "--no-baseline"], cwd=tmp_path)
+        assert result.returncode == 0
+
+    def test_baseline_workflow_grandfathers_then_blocks(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/cluster/sim.py": """
+                import time
+
+                def tick():
+                    return time.time()
+            """,
+        })
+        baseline = tmp_path / "baseline.json"
+        update = run_cli(["src", "--update-baseline",
+                          "--baseline", str(baseline)], cwd=tmp_path)
+        assert update.returncode == 0
+        gated = run_cli(["src", "--baseline", str(baseline)], cwd=tmp_path)
+        assert gated.returncode == 0
+        # A *second* violation is new even with the baseline in place.
+        extra = tmp_path / "src" / "repro" / "serving" / "cluster" / "sim.py"
+        extra.write_text(extra.read_text()
+                         + "\n\ndef tock():\n    return time.monotonic()\n")
+        blocked = run_cli(["src", "--baseline", str(baseline)], cwd=tmp_path)
+        assert blocked.returncode == 1
+        assert "time.monotonic" in blocked.stdout
+
+    def test_list_rules_names_all_five(self, tmp_path):
+        result = run_cli(["--list-rules"], cwd=tmp_path)
+        assert result.returncode == 0
+        for rule in ("determinism", "stage-purity", "fingerprint-coverage",
+                     "tracer-discipline", "shim-drift"):
+            assert rule in result.stdout
+
+    def test_syntax_error_fails_the_gate(self, tmp_path):
+        write_tree(tmp_path, {
+            "serving/broken.py": """
+                def tick(:
+            """,
+        })
+        result = run_cli(["src", "--no-baseline"], cwd=tmp_path)
+        assert result.returncode == 1
+        assert "syntax" in result.stdout
+
+
+# ----------------------------------------------------------------------
+# registry and report plumbing
+# ----------------------------------------------------------------------
+class TestRegistryAndReport:
+    def test_all_five_rules_are_registered(self):
+        names = [name for name, _ in available_checkers()]
+        assert names == sorted(names)
+        assert set(names) == {"determinism", "stage-purity",
+                              "fingerprint-coverage", "tracer-discipline",
+                              "shim-drift"}
+
+    def test_unknown_rule_raises(self, tmp_path):
+        src = write_tree(tmp_path, {"core/x.py": "VALUE = 1\n"})
+        project = Project.load([src], repo_root=tmp_path)
+        with pytest.raises(KeyError, match="unknown checker"):
+            run_checkers(project, rules=["nonexistent"])
+
+    def test_report_exit_code_tracks_new_findings(self):
+        report = AnalysisReport(roots=["src"], files_analyzed=1, rules=[])
+        assert report.exit_code == 0
+        report.new_findings = [Finding("determinism", "a.py", 1, 0, "m")]
+        assert report.exit_code == 1
+
+    def test_report_json_shape(self, tmp_path):
+        finding = Finding("determinism", "a.py", 1, 0, "msg", symbol="f")
+        report = AnalysisReport(
+            roots=["src"], files_analyzed=3,
+            rules=[{"name": "determinism", "description": "d"}],
+            findings=[finding], new_findings=[finding])
+        path = report.save(tmp_path / "out" / "report.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == REPORT_SCHEMA
+        assert data["summary"] == {
+            "total": 1, "new": 1, "baselined": 0, "suppressed": 0,
+            "per_rule": {"determinism": 1}}
+        assert data["baseline"] == {"path": None, "matched": [], "stale": []}
+
+
+# ----------------------------------------------------------------------
+# self-check: the shipped tree satisfies its own gate
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_src_is_clean_against_committed_baseline(self):
+        project = Project.load([REPO_ROOT / "src"], repo_root=REPO_ROOT)
+        findings, _ = run_checkers(project)
+        baseline = load_baseline(
+            REPO_ROOT / "benchmarks" / "baselines" / "analysis_baseline.json")
+        new, _, stale = diff_against_baseline(findings, baseline)
+        assert new == [], "\n".join(f.format() for f in new)
+        assert stale == [], (
+            "baseline entries no longer match any finding; shrink the "
+            f"baseline: {stale}")
+
+    def test_known_shim_pairs_resolve(self):
+        # Guards against renames silently emptying the shim-drift rule.
+        from repro.analysis.checkers.shims import _resolve
+        project = Project.load([REPO_ROOT / "src"], repo_root=REPO_ROOT)
+        for pair in AnalysisConfig().shim_pairs:
+            assert _resolve(project, pair.shim) is not None, pair.shim
+            assert _resolve(project, pair.replacement) is not None, \
+                pair.replacement

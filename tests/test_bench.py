@@ -10,12 +10,12 @@ from repro.bench import (
     Measurement,
     build_report,
     compare_reports,
+    load_report,
     markdown_summary,
     register_workload,
     unregister_workload,
     workloads_for_suite,
     write_report,
-    load_report,
 )
 from repro.bench.compare import (
     CALIBRATION_WORKLOAD,

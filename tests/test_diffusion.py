@@ -6,7 +6,6 @@ import pytest
 from repro.diffusion import (
     DDIMSampler,
     DDPMSampler,
-    DiffusionPipeline,
     NoiseSchedule,
     add_noise,
     cosine_beta_schedule,

@@ -23,7 +23,7 @@ import numpy as np
 import pytest
 
 from repro.diffusion import DiffusionPipeline, GenerationPlan
-from repro.experiments import RunStore, Runner, Stage, StageGraph
+from repro.experiments import Runner, RunStore, Stage, StageGraph
 from repro.models import DiffusionModel
 from repro.obs import (
     NULL_TRACER,

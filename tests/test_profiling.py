@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.models import UNet, UNetConfig, get_model_spec
+from repro.models import UNet, get_model_spec
 from repro.profiling import (
-    BYTES_FP8,
     BYTES_FP32,
+    BYTES_FP8,
     CPU_XEON,
     GPU_V100,
     estimate_latency,

@@ -18,8 +18,8 @@ from repro.experiments import (
     ExperimentSpec,
     RowSpec,
     RunManifest,
-    RunStore,
     Runner,
+    RunStore,
     Stage,
     StageGraph,
     build_variant,

@@ -12,17 +12,16 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    CalibrationConfig,
     PAPER_CONFIGS,
+    CalibrationConfig,
     PolicyRule,
-    QuantScheme,
     QuantizationConfig,
     QuantizationPolicy,
     QuantizationReport,
     QuantizedConv2d,
     QuantizedLinear,
+    QuantScheme,
     available_schemes,
-    boundary_interior_policy,
     calibrate_block_biases,
     calibrate_int_format,
     calibrate_int_format_per_channel,
@@ -37,9 +36,9 @@ from repro.core import (
     scheme_name,
     unregister_scheme,
 )
+from repro.core.formats import FPFormat
 from repro.core.quantizer import LayerQuantizationRecord
 from repro.core.schemes import FPSearchScheme, IdentityScheme, subsample
-from repro.core.formats import FPFormat
 
 
 def fast_config(**overrides) -> QuantizationConfig:
@@ -256,7 +255,7 @@ class TestPolicyResolution:
 
     def test_predicate_rules_refuse_serialization(self):
         policy = QuantizationPolicy(rules=[
-            PolicyRule(predicate=lambda p, l: True, weights="fp8")])
+            PolicyRule(predicate=lambda p, layer: True, weights="fp8")])
         with pytest.raises(ValueError, match="predicate"):
             policy.to_dict()
 

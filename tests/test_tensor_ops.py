@@ -31,7 +31,8 @@ def assert_gradcheck(op, shape=(3, 4), seed=0, atol=2e-2):
     out = op(tensor).sum()
     out.backward()
 
-    numeric = numerical_gradient(lambda arr: float(op(Tensor(arr.astype(np.float32))).sum().item()), x)
+    numeric = numerical_gradient(
+        lambda arr: float(op(Tensor(arr.astype(np.float32))).sum().item()), x)
     np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-2)
 
 
