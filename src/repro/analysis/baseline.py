@@ -19,9 +19,10 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import schemas
 from .findings import Finding
 
-BASELINE_SCHEMA = "repro.analysis.baseline/v1"
+BASELINE_SCHEMA = schemas.ANALYSIS_BASELINE
 
 
 def load_baseline(path) -> List[Finding]:

@@ -1,0 +1,139 @@
+"""Per-file incremental fact cache for the analyzer.
+
+Same content-addressed idiom as the experiment RunStore: an entry is keyed
+by the sha256 of the file's *bytes* (never its path or mtime), fanned out
+into two-character bucket directories.  Touching a file without changing
+it therefore still hits; any edit — including to pragmas, which live in
+the source — misses and re-analyzes exactly that file.
+
+An entry stores two things:
+
+* the module's :class:`~repro.analysis.callgraph.ModuleSummary`, which is
+  all the interprocedural rules (determinism, race-discipline) read — so
+  on a warm run those rules never touch the AST of an unchanged file;
+* the *file-local* findings of every cacheable rule (fingerprint-coverage,
+  tracer-discipline, schema-discipline, hot-path-alloc), which are a pure
+  function of the file's content and the analysis config.
+
+Entries are invalidated wholesale by the analyzer version stamp and by a
+fingerprint of the :class:`~repro.analysis.config.AnalysisConfig`, because
+both change what a summary or a cached finding means.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .. import schemas
+from .callgraph import SUMMARY_VERSION, ModuleSummary
+from .findings import Finding
+from .project import Module
+
+#: Bump (together with SUMMARY_VERSION when relevant) on any change to the
+#: cached layout or to the semantics of a cacheable rule.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+
+class FactCache:
+    """Content-addressed store of per-file summaries and local findings."""
+
+    def __init__(self, root, config_fingerprint: str = ""):
+        self.root = Path(root)
+        self.config_fingerprint = config_fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._loaded: Dict[str, Optional[Dict]] = {}
+
+    # ------------------------------------------------------------------
+    def _path(self, sha256: str) -> Path:
+        return self.root / sha256[:2] / f"{sha256}.json"
+
+    def _entry(self, sha256: str) -> Optional[Dict]:
+        """Load (memoized) and validate one entry, or None."""
+        if sha256 in self._loaded:
+            return self._loaded[sha256]
+        entry: Optional[Dict] = None
+        path = self._path(sha256)
+        if path.is_file():
+            try:
+                candidate = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                candidate = None
+            if (candidate is not None
+                    and candidate.get("schema") == schemas.ANALYSIS_CACHE
+                    and candidate.get("cache_version") == CACHE_VERSION
+                    and candidate.get("summary_version") == SUMMARY_VERSION
+                    and candidate.get("config") == self.config_fingerprint
+                    and candidate.get("content_sha256") == sha256):
+                entry = candidate
+        self._loaded[sha256] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def load_summary(self, module: Module) -> Optional[ModuleSummary]:
+        entry = self._entry(module.sha256)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ModuleSummary.from_dict(entry["summary"])
+
+    def store_summary(self, module: Module, summary: ModuleSummary) -> None:
+        entry = self._entry(module.sha256) or {
+            "schema": schemas.ANALYSIS_CACHE,
+            "cache_version": CACHE_VERSION,
+            "summary_version": SUMMARY_VERSION,
+            "config": self.config_fingerprint,
+            "content_sha256": module.sha256,
+            "rel_path": module.rel_path,
+            "findings": {},
+        }
+        entry["summary"] = summary.to_dict()
+        self._write(module.sha256, entry)
+
+    # ------------------------------------------------------------------
+    def load_findings(self, module: Module,
+                      rule: str) -> Optional[List[Finding]]:
+        """Cached file-local findings of ``rule``, or None on miss."""
+        entry = self._entry(module.sha256)
+        if entry is None or rule not in entry.get("findings", {}):
+            return None
+        return [Finding(**data) for data in entry["findings"][rule]]
+
+    def store_findings(self, module: Module, rule: str,
+                       findings: List[Finding]) -> None:
+        entry = self._entry(module.sha256)
+        if entry is None or "summary" not in entry:
+            # Findings piggyback on the summary entry; without one the
+            # file changed under us mid-run — skip rather than corrupt.
+            return
+        entry["findings"][rule] = [finding.to_dict() for finding in findings]
+        self._write(module.sha256, entry)
+
+    # ------------------------------------------------------------------
+    def cached_hashes(self) -> set:
+        """Every content hash with a valid entry on disk (for lazy loads)."""
+        hashes = set()
+        if not self.root.is_dir():
+            return hashes
+        for path in self.root.glob("??/*.json"):
+            hashes.add(path.stem)
+        return hashes
+
+    def _write(self, sha256: str, entry: Dict) -> None:
+        path = self._path(sha256)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+        self._loaded[sha256] = entry
+        self.writes += 1
+
+    def stats(self) -> Dict:
+        return {"dir": str(self.root), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes}

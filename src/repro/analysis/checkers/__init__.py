@@ -1,5 +1,7 @@
 """Built-in checkers; importing this package registers all of them."""
 
-from . import determinism, fingerprints, purity, shims, tracing
+from . import (determinism, fingerprints, hotpath, purity, races, schema,
+               shims, tracing)
 
-__all__ = ["determinism", "fingerprints", "purity", "shims", "tracing"]
+__all__ = ["determinism", "fingerprints", "hotpath", "purity", "races",
+           "schema", "shims", "tracing"]

@@ -1,4 +1,4 @@
-"""Rule ``determinism``: no ambient time or entropy in virtual-time modules.
+"""Rule ``determinism``: no ambient time or entropy in virtual-time code.
 
 The serving tier, the cluster simulator, the experiment stage builders and
 the sampler loops are all asserted byte-identical across same-seed runs in
@@ -7,7 +7,10 @@ clock or an unseeded RNG: a single ``time.time()`` turns a reproducible
 10^6-request cluster report into a flaky one, and an unseeded
 ``default_rng()`` silently decouples an artifact from its content key.
 
-What is flagged, in modules the config declares virtual-time:
+The rule has two layers, both driven by the per-module fact summaries and
+the project call graph (:mod:`repro.analysis.callgraph`):
+
+**Local facts** — in modules the config declares virtual-time:
 
 * any *use* of a wall-clock callable (``time.time``, ``time.monotonic``,
   ``time.perf_counter`` and friends, ``datetime.now``/``utcnow``/``today``)
@@ -19,6 +22,15 @@ What is flagged, in modules the config declares virtual-time:
 * calling an RNG *factory* with no seed (``np.random.default_rng()``,
   ``random.Random()``).
 
+**Interprocedural taint** — a call site in a virtual-time module whose
+resolved callee *transitively* reaches a wall-clock or global-RNG read is
+flagged at the call site, with the witnessed chain in the message
+(``reaches wall-clock 'time.time' via stats.flush -> util.stamp``).  The
+taint stops at the configured clock-boundary modules (their job is to own
+the real clock behind injectable parameters) and at callees that are
+themselves virtual-time (their reads are already local findings at the
+precise line).
+
 The one sanctioned position is a **function-signature default**
 (``def __init__(self, clock=time.perf_counter)``): that is the
 clock-injection idiom — ambient time may only enter through a parameter a
@@ -27,133 +39,120 @@ caller can override with a :class:`~repro.serving.clock.VirtualClock`.
 
 from __future__ import annotations
 
-import ast
-from typing import List, Set
+from typing import Dict, List
 
+# Canonical fact sets live with the summary extractor; re-exported here
+# because this checker is their natural documentation home.
+from ..callgraph import (GLOBAL_RNG, MODULE_SCOPE, SEEDABLE_FACTORIES,
+                         WALL_CLOCKS, ModuleSummary, get_context)
 from ..config import AnalysisConfig
+from ..dataflow import TaintStep, propagate_taint, witness_chain
 from ..findings import Finding
-from ..imports import import_map, resolve_attribute
-from ..project import Module, Project
+from ..project import Project
 from ..registry import Checker, register_checker
 
-#: Callables whose mere presence in a virtual-time module breaks the
-#: determinism contract.
-WALL_CLOCKS = frozenset({
-    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
-    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
-    "time.process_time_ns", "time.localtime", "time.gmtime",
-    "datetime.datetime.now", "datetime.datetime.utcnow",
-    "datetime.datetime.today", "datetime.date.today",
-})
-
-#: Process-global RNG entry points (shared hidden state).
-GLOBAL_RNG = frozenset(
-    {f"random.{name}" for name in (
-        "random", "randint", "randrange", "uniform", "gauss",
-        "normalvariate", "shuffle", "choice", "choices", "sample", "seed",
-        "getrandbits", "betavariate", "expovariate", "triangular",
-        "vonmisesvariate", "paretovariate", "weibullvariate")}
-    | {f"numpy.random.{name}" for name in (
-        "seed", "rand", "randn", "randint", "random", "random_sample",
-        "ranf", "sample", "standard_normal", "normal", "uniform", "choice",
-        "shuffle", "permutation", "get_state", "set_state")})
-
-#: RNG factories that are fine seeded and flagged when called with no
-#: arguments.
-SEEDABLE_FACTORIES = frozenset({
-    "numpy.random.default_rng", "random.Random", "numpy.random.RandomState",
-})
+__all__ = ["DeterminismChecker", "WALL_CLOCKS", "GLOBAL_RNG",
+           "SEEDABLE_FACTORIES"]
 
 
 @register_checker
 class DeterminismChecker(Checker):
     name = "determinism"
     description = ("virtual-time modules must not read wall clocks or "
-                   "unseeded/global RNG (signature defaults excepted)")
+                   "unseeded/global RNG, directly or through callees "
+                   "(signature defaults excepted)")
+    needs_context = True
 
     def check(self, project: Project,
               config: AnalysisConfig) -> List[Finding]:
+        context = get_context(project)
+        graph = context.graph
         findings: List[Finding] = []
-        for module in project.modules:
-            if not config.is_virtual_time(module.pkg_path):
+
+        # ---- local facts in virtual-time modules ----------------------
+        for module_name in sorted(context.summaries):
+            summary = context.summaries[module_name]
+            if not config.is_virtual_time(summary.pkg_path):
                 continue
-            findings.extend(self._check_module(module))
+            for qualname in sorted(summary.functions):
+                fn = summary.functions[qualname]
+                symbol = None if qualname == MODULE_SCOPE else qualname
+                for ref in fn.clocks:
+                    if ref.in_default:
+                        continue
+                    findings.append(self._finding(
+                        summary, ref, symbol,
+                        f"wall-clock '{ref.dotted}' used in a virtual-time "
+                        f"module; inject a clock parameter instead"))
+                for ref in fn.rngs:
+                    if ref.in_default:
+                        continue
+                    findings.append(self._finding(
+                        summary, ref, symbol,
+                        f"process-global RNG '{ref.dotted}' used in a "
+                        f"virtual-time module; pass a seeded Generator"))
+                for ref in fn.factories:
+                    findings.append(self._finding(
+                        summary, ref, symbol,
+                        f"unseeded '{ref.dotted}()' in a virtual-time "
+                        f"module; derive the seed from the stage "
+                        f"inputs/config"))
+
+        # ---- interprocedural taint ------------------------------------
+        def is_boundary(func_id: str) -> bool:
+            summary = graph.module_of(func_id)
+            return summary is None or self._is_clock_boundary(
+                summary.pkg_path, config)
+
+        local: Dict[str, TaintStep] = {}
+        for func_id in sorted(graph.functions):
+            fn = graph.function(func_id)
+            facts = ([(ref.line, f"wall-clock '{ref.dotted}'")
+                      for ref in fn.clocks if not ref.in_default]
+                     + [(ref.line, f"global RNG '{ref.dotted}'")
+                        for ref in fn.rngs if not ref.in_default])
+            if facts:
+                line, fact = min(facts)
+                local[func_id] = TaintStep(fact=fact, via="", line=line)
+
+        tainted = propagate_taint(graph, local, stop=is_boundary)
+
+        for func_id in sorted(graph.functions):
+            summary = graph.module_of(func_id)
+            if not config.is_virtual_time(summary.pkg_path):
+                continue
+            fn = graph.function(func_id)
+            symbol = (None if fn.qualname == MODULE_SCOPE
+                      else fn.qualname)
+            for callee, site in graph.callees(func_id):
+                callee_summary = graph.module_of(callee)
+                if callee in tainted and not config.is_virtual_time(
+                        callee_summary.pkg_path):
+                    chain = witness_chain(tainted, callee)
+                    findings.append(Finding(
+                        rule=self.name, path=summary.rel_path,
+                        line=site.line, col=site.col, symbol=symbol,
+                        message=(f"call into "
+                                 f"'{_short(callee)}' reaches "
+                                 f"{' -> '.join(chain)} outside this "
+                                 f"virtual-time module; inject a clock/"
+                                 f"seeded Generator through the call "
+                                 f"instead")))
         return findings
 
     # ------------------------------------------------------------------
-    def _check_module(self, module: Module) -> List[Finding]:
-        mapping = import_map(module)
-        findings: List[Finding] = []
-        default_nodes = _signature_default_nodes(module.tree)
-
-        for node, symbol in _walk_with_symbols(module.tree):
-            if id(node) in default_nodes:
-                continue
-            if isinstance(node, (ast.Attribute, ast.Name)):
-                # Only report the *outermost* attribute chain; the walk
-                # revisits inner nodes, which the dotted-name check skips
-                # because partial chains don't resolve to forbidden names.
-                dotted = resolve_attribute(node, mapping)
-                if dotted is None:
-                    continue
-                if dotted in WALL_CLOCKS:
-                    findings.append(self._finding(
-                        module, node, symbol,
-                        f"wall-clock '{dotted}' used in a virtual-time "
-                        f"module; inject a clock parameter instead"))
-                elif dotted in GLOBAL_RNG:
-                    findings.append(self._finding(
-                        module, node, symbol,
-                        f"process-global RNG '{dotted}' used in a "
-                        f"virtual-time module; pass a seeded Generator"))
-            elif isinstance(node, ast.Call):
-                dotted = resolve_attribute(node.func, mapping)
-                if (dotted in SEEDABLE_FACTORIES and not node.args
-                        and not node.keywords):
-                    findings.append(self._finding(
-                        module, node, symbol,
-                        f"unseeded '{dotted}()' in a virtual-time module; "
-                        f"derive the seed from the stage inputs/config"))
-        return findings
+    @staticmethod
+    def _is_clock_boundary(pkg_path: str, config: AnalysisConfig) -> bool:
+        from ..config import _matches
+        return _matches(pkg_path, config.clock_boundaries)
 
     @staticmethod
-    def _finding(module: Module, node: ast.AST, symbol: str,
+    def _finding(summary: ModuleSummary, ref, symbol,
                  message: str) -> Finding:
-        return Finding(rule="determinism", path=module.rel_path,
-                       line=getattr(node, "lineno", 0),
-                       col=getattr(node, "col_offset", 0),
-                       message=message, symbol=symbol or None)
+        return Finding(rule="determinism", path=summary.rel_path,
+                       line=ref.line, col=ref.col,
+                       message=message, symbol=symbol)
 
 
-# ----------------------------------------------------------------------
-# AST helpers (shared shape with the other checkers, kept local for
-# readability — each checker reads top to bottom on its own)
-# ----------------------------------------------------------------------
-def _signature_default_nodes(tree: ast.Module) -> Set[int]:
-    """ids of every node inside a function-signature default expression."""
-    allowed: Set[int] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            defaults = list(node.args.defaults) + [
-                default for default in node.args.kw_defaults
-                if default is not None]
-            for default in defaults:
-                for child in ast.walk(default):
-                    allowed.add(id(child))
-    return allowed
-
-
-def _walk_with_symbols(tree: ast.Module):
-    """Yield (node, enclosing qualname) over the whole module."""
-
-    def visit(node: ast.AST, qualname: str):
-        for child in ast.iter_child_nodes(node):
-            child_qualname = qualname
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.ClassDef)):
-                child_qualname = (f"{qualname}.{child.name}"
-                                  if qualname else child.name)
-            yield child, child_qualname
-            yield from visit(child, child_qualname)
-
-    yield from visit(tree, "")
+def _short(func_id: str) -> str:
+    return ".".join(func_id.split(".")[-2:])

@@ -96,17 +96,17 @@ class FingerprintCoverageChecker(Checker):
     name = "fingerprint-coverage"
     description = ("dataclasses with fingerprint() must feed every field "
                    "into the hash payload (or mark it presentation-only)")
+    cacheable = True  # findings are a pure function of one file + config
 
-    def check(self, project: Project,
-              config: AnalysisConfig) -> List[Finding]:
+    def check_module(self, module: Module,
+                     config: AnalysisConfig) -> List[Finding]:
+        if not any(fnmatch(module.pkg_path, pattern)
+                   for pattern in config.fingerprint_modules):
+            return []
         findings: List[Finding] = []
-        for module in project.modules:
-            if not any(fnmatch(module.pkg_path, pattern)
-                       for pattern in config.fingerprint_modules):
-                continue
-            for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef) and _is_dataclass(node):
-                    findings.extend(self._check_class(module, node))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                findings.extend(self._check_class(module, node))
         return findings
 
     # ------------------------------------------------------------------

@@ -96,14 +96,13 @@ class TracerDisciplineChecker(Checker):
                    "balance, and attr payloads are built only under a "
                    "tracer guard")
 
-    def check(self, project: Project,
-              config: AnalysisConfig) -> List[Finding]:
-        findings: List[Finding] = []
-        for module in project.modules:
-            if not self._in_scope(module, config):
-                continue
-            findings.extend(self._check_module(module))
-        return findings
+    cacheable = True  # findings are a pure function of one file + config
+
+    def check_module(self, module: Module,
+                     config: AnalysisConfig) -> List[Finding]:
+        if not self._in_scope(module, config):
+            return []
+        return self._check_module(module)
 
     @staticmethod
     def _in_scope(module: Module, config: AnalysisConfig) -> bool:

@@ -2,8 +2,18 @@
 
 Exit code is 0 when every finding is baselined or suppressed, 1 when any
 *new* finding exists (or a file fails to parse), 2 on usage errors.  The
-JSON report (``repro.analysis/v1``) is the machine interface CI consumes;
+JSON report (``repro.analysis/v2``) is the machine interface CI consumes;
 stdout is for humans.
+
+Warm runs are incremental: per-file fact summaries and cacheable-rule
+findings are stored content-addressed under ``--cache-dir`` (default
+``.repro-analysis-cache``), so re-running after editing one file only
+re-analyzes that file.  ``--no-cache`` forces a cold run.
+
+``--fix`` applies the mechanical rewrites from :mod:`repro.analysis.fix`
+(pragma insertion, schema-constant rewrites, dead-shim-param removal);
+with ``--dry-run`` it prints a unified diff instead of writing and always
+exits 0 — preview is never a gate.
 """
 
 from __future__ import annotations
@@ -14,10 +24,12 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .baseline import apply_baseline, save_baseline
+from .cache import DEFAULT_CACHE_DIR, FactCache
 from .config import AnalysisConfig
 from .findings import AnalysisReport
+from .fix import apply_fixes
 from .project import Project
-from .registry import available_checkers, run_checkers
+from .registry import available_checkers, run_analysis
 
 DEFAULT_BASELINE = "benchmarks/baselines/analysis_baseline.json"
 
@@ -27,7 +39,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=("Repo-aware static analysis: determinism, stage "
                      "purity, fingerprint coverage, tracer discipline, "
-                     "shim drift."))
+                     "shim drift, race discipline, hot-path allocation, "
+                     "schema discipline."))
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)")
@@ -52,10 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current findings and exit 0")
     parser.add_argument(
         "--json", default=None, metavar="PATH", dest="json_path",
-        help="write the repro.analysis/v1 JSON report here")
+        help="write the repro.analysis/v2 JSON report here")
     parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-finding lines; print the summary only")
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=(f"fact-cache directory for incremental warm runs "
+              f"(default: {DEFAULT_CACHE_DIR})"))
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the fact cache; re-analyze every file from scratch")
+    parser.add_argument(
+        "--fix", action="store_true",
+        help=("apply mechanical fixes for fixable findings (pragma "
+              "insertion, schema-constant rewrites, dead shim params)"))
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --fix: print the unified diff, write nothing, exit 0")
     return parser
 
 
@@ -71,6 +98,11 @@ def _resolve_baseline(args) -> Optional[Path]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
+    if args.dry_run and not args.fix:
+        print("error: --dry-run only makes sense with --fix",
+              file=sys.stderr)
+        return 2
+
     if args.list_rules:
         for name, description in available_checkers():
             print(f"{name:22s} {description}")
@@ -80,13 +112,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               else AnalysisConfig())
     rules = ([rule.strip() for rule in args.rules.split(",") if rule.strip()]
              if args.rules else None)
+
+    cache = None
+    if not args.no_cache:
+        cache = FactCache(Path(args.cache_dir),
+                          config_fingerprint=config.fingerprint())
     try:
-        project = Project.load([Path(path) for path in args.paths])
+        defer = cache.cached_hashes() if cache is not None else frozenset()
+        project = Project.load([Path(path) for path in args.paths],
+                               defer_parse_for=defer)
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    findings, suppressed = run_checkers(project, config, rules)
+    run = run_analysis(project, config, rules, cache=cache)
+    findings = run.findings
+
+    if args.fix:
+        outcome = apply_fixes(project, findings, dry_run=args.dry_run)
+        if args.dry_run:
+            sys.stdout.write(outcome.combined_diff())
+            print(f"would fix {len(outcome.applied)} finding(s) in "
+                  f"{len(outcome.diffs)} file(s); "
+                  f"{len(outcome.skipped)} not auto-fixable")
+            return 0
+        for line in outcome.applied:
+            print(f"fixed: {line}")
+        print(f"fixed {len(outcome.applied)} finding(s) in "
+              f"{len(outcome.diffs)} file(s); "
+              f"{len(outcome.skipped)} not auto-fixable")
+        return 0 if not outcome.skipped else 1
 
     if args.update_baseline:
         target = (Path(args.baseline) if args.baseline
@@ -108,9 +163,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         findings=findings,
         new_findings=new,
         baselined=baselined,
-        suppressed_count=suppressed,
+        suppressed_count=run.suppressed,
         baseline_path=str(baseline_path) if baseline_path else None,
-        stale_baseline=stale)
+        stale_baseline=stale,
+        timing=run.timing,
+        cache_stats=run.cache_stats)
 
     if args.json_path:
         report.save(args.json_path)
@@ -119,7 +176,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for finding in new:
             print(finding.format())
     summary = (f"{len(findings)} finding(s): {len(new)} new, "
-               f"{len(baselined)} baselined, {suppressed} suppressed "
+               f"{len(baselined)} baselined, {run.suppressed} suppressed "
                f"({report.files_analyzed} files)")
     print(summary)
     if stale:
@@ -127,7 +184,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"{'y' if len(stale) == 1 else 'ies'} no longer match; "
               f"run --update-baseline to shrink the baseline")
     if new:
-        print("new findings fail the gate; fix them, add a "
+        print("new findings fail the gate; fix them with --fix, add a "
               "'# repro: allow[rule]' pragma with a reason, or (for "
               "pre-existing debt only) re-baseline", file=sys.stderr)
     return report.exit_code

@@ -12,6 +12,7 @@ package (``serving/pool.py``, ``serving/cluster/*.py``).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from fnmatch import fnmatch
@@ -84,6 +85,29 @@ class AnalysisConfig:
         "zoo/*.py",
     )
 
+    # -- thread-context lattice / race discipline ----------------------
+    #: Function-id globs (``repro.pkg.module.Class.method``) seeded as
+    #: worker-executed entry points, on top of everything handed to an
+    #: executor ``submit`` (discovered automatically from the call graph).
+    worker_entries: Tuple[str, ...] = (
+        "repro.serving.engine.ServingEngine.pump",
+        "repro.serving.cluster.sim.ClusterSimulation._on_*",
+        "repro.experiments.stages.*",
+        "repro.experiments.variants.*",
+    )
+
+    # -- hot-path allocation -------------------------------------------
+    #: Module globs the ``# repro: hot`` marker is honored in; everything
+    #: by default — the marker itself is the opt-in.
+    hot_modules: Tuple[str, ...] = ("*.py",)
+
+    # -- schema discipline ---------------------------------------------
+    #: The one module allowed to spell out ``family/vN`` schema tags.
+    schema_registry_module: str = "repro.schemas"
+    #: Tag literals exempt from the rule (none by default; prefer pragmas
+    #: at the use site so exemptions carry a reason).
+    schema_exempt_tags: Tuple[str, ...] = ()
+
     # -- fingerprint coverage ------------------------------------------
     #: Modules scanned for dataclasses exposing ``fingerprint()``.
     fingerprint_modules: Tuple[str, ...] = ("*.py",)
@@ -132,19 +156,31 @@ class AnalysisConfig:
             "clock_boundaries": list(self.clock_boundaries),
             "stage_pure_roots": list(self.stage_pure_roots),
             "purity_boundaries": list(self.purity_boundaries),
+            "worker_entries": list(self.worker_entries),
+            "hot_modules": list(self.hot_modules),
+            "schema_registry_module": self.schema_registry_module,
+            "schema_exempt_tags": list(self.schema_exempt_tags),
             "fingerprint_modules": list(self.fingerprint_modules),
             "tracer_modules": list(self.tracer_modules),
             "shim_pairs": [pair.to_dict() for pair in self.shim_pairs],
         }
+
+    def fingerprint(self) -> str:
+        """Stable hash of the config; part of every fact-cache key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     @classmethod
     def from_dict(cls, data: Dict) -> "AnalysisConfig":
         kwargs = {}
         for key in ("virtual_time_modules", "clock_boundaries",
                     "stage_pure_roots", "purity_boundaries",
+                    "worker_entries", "hot_modules", "schema_exempt_tags",
                     "fingerprint_modules", "tracer_modules"):
             if key in data:
                 kwargs[key] = tuple(data[key])
+        if "schema_registry_module" in data:
+            kwargs["schema_registry_module"] = data["schema_registry_module"]
         if "shim_pairs" in data:
             kwargs["shim_pairs"] = tuple(ShimPair.from_dict(pair)
                                          for pair in data["shim_pairs"])

@@ -1,0 +1,120 @@
+"""Generic fact propagation over the project call graph.
+
+Two engines, both simple worklist fixpoints, both deliberately boolean
+(a function either has the fact or it does not — the rules that need
+richer lattices encode them as separate facts):
+
+* :func:`reachable_from` — forward closure over call + spawn edges.  Used
+  for the thread-context lattice: seed with every function handed to an
+  executor ``submit`` plus the configured worker entry points, and the
+  closure is the *worker-reachable* set the ``race-discipline`` rule
+  polices.
+* :func:`propagate_taint` — backward fold-up: a function is tainted when
+  it holds a local fact or calls a tainted function.  Each tainted
+  function remembers one witness step (the callee and line that tainted
+  it), so findings can print the actual call chain down to the primal
+  fact — ``pump -> _flush -> time.time`` — instead of asserting taint by
+  fiat.  Used by the interprocedural ``determinism`` rule.
+
+Both engines stop at caller-supplied boundaries (e.g. clock-boundary
+modules whose *job* is reading the wall clock), which is how contracts
+like "profiling owns the real clock" survive whole-program propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Set
+
+from .callgraph import CallGraph
+
+
+def reachable_from(graph: CallGraph, seeds: Iterable[str],
+                   stop: Optional[Callable[[str], bool]] = None) -> Set[str]:
+    """Forward closure of ``seeds`` over call and spawn edges."""
+    reached: Set[str] = set()
+    frontier: List[str] = [seed for seed in seeds
+                           if graph.function(seed) is not None]
+    while frontier:
+        func_id = frontier.pop()
+        if func_id in reached or (stop is not None and stop(func_id)):
+            continue
+        reached.add(func_id)
+        for callee, _ in graph.callees(func_id):
+            if callee not in reached:
+                frontier.append(callee)
+        for callee, _ in graph.spawn_edges.get(func_id, []):
+            if callee not in reached:
+                frontier.append(callee)
+    return reached
+
+
+class TaintStep(NamedTuple):
+    """How a function became tainted: the primal fact or a callee hop."""
+
+    #: Human-readable fact at this step ("wall-clock 'time.time'") when the
+    #: taint is local, else "" for a pure fold-up step.
+    fact: str
+    #: Callee function id the taint flowed from ("" for a local fact).
+    via: str
+    #: Line (in the tainted function's file) of the fact or call site.
+    line: int
+
+
+def propagate_taint(graph: CallGraph, local: Dict[str, TaintStep],
+                    stop: Optional[Callable[[str], bool]] = None
+                    ) -> Dict[str, TaintStep]:
+    """Backward-propagate local facts up the call graph.
+
+    ``local`` maps function ids to their primal facts.  The result maps
+    every function that can reach a fact (without crossing ``stop``) to
+    its first witness step.  Deterministic: functions and callees are
+    processed in sorted order, so the chosen witness is stable run-to-run.
+    """
+    tainted: Dict[str, TaintStep] = {}
+    for func_id, step in local.items():
+        if graph.function(func_id) is not None and not (
+                stop is not None and stop(func_id)):
+            tainted[func_id] = step
+
+    # reverse adjacency over resolved call edges
+    callers: Dict[str, List[str]] = {}
+    for caller in graph.edges:
+        for callee, _ in graph.edges[caller]:
+            callers.setdefault(callee, []).append(caller)
+
+    frontier = sorted(tainted)
+    while frontier:
+        next_frontier: Set[str] = set()
+        for callee in frontier:
+            for caller in sorted(callers.get(callee, [])):
+                if caller in tainted or (stop is not None and stop(caller)):
+                    continue
+                site_line = min(site.line for target, site
+                                in graph.edges[caller] if target == callee)
+                tainted[caller] = TaintStep(fact="", via=callee,
+                                            line=site_line)
+                next_frontier.add(caller)
+        frontier = sorted(next_frontier)
+    return tainted
+
+
+def witness_chain(tainted: Dict[str, TaintStep], func_id: str,
+                  limit: int = 6) -> List[str]:
+    """The call chain from ``func_id`` down to its primal fact.
+
+    Returns short function names (last two id components) ending with the
+    primal fact string, e.g. ``['engine.pump', 'stats._flush',
+    "wall-clock 'time.time'"]``.
+    """
+    chain: List[str] = []
+    current: Optional[str] = func_id
+    for _ in range(limit):
+        step = tainted.get(current or "")
+        if step is None:
+            break
+        if step.fact:
+            chain.append(step.fact)
+            break
+        chain.append(".".join(step.via.split(".")[-2:]))
+        current = step.via
+    return chain

@@ -14,8 +14,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-#: Schema tag written into every JSON report (bump on breaking changes).
-REPORT_SCHEMA = "repro.analysis/v1"
+from .. import schemas
+
+#: Schema tag written into every JSON report (registered centrally; v2
+#: added the per-rule ``timing`` and fact-``cache`` blocks).
+REPORT_SCHEMA = schemas.ANALYSIS_REPORT
 
 
 @dataclass(frozen=True)
@@ -55,7 +58,7 @@ class Finding:
 
 @dataclass
 class AnalysisReport:
-    """The full result of one analysis run, serializable as ``repro.analysis/v1``."""
+    """The full result of one analysis run (see ``repro.schemas.ANALYSIS_REPORT``)."""
 
     roots: List[str]
     files_analyzed: int
@@ -68,6 +71,11 @@ class AnalysisReport:
     #: Baseline entries that no longer match any finding — candidates for
     #: removal so the grandfathered set only ever shrinks.
     stale_baseline: List[Dict] = field(default_factory=list)
+    #: Per-rule wall time in seconds (plus "total"), v2 addition.
+    timing: Dict[str, float] = field(default_factory=dict)
+    #: Fact-cache statistics for this run, v2 addition.  ``enabled`` is
+    #: False when the run went cold on purpose (--no-cache).
+    cache_stats: Dict = field(default_factory=lambda: {"enabled": False})
 
     @property
     def exit_code(self) -> int:
@@ -93,6 +101,9 @@ class AnalysisReport:
                 "matched": [finding.to_dict() for finding in self.baselined],
                 "stale": list(self.stale_baseline),
             },
+            "timing": {key: round(value, 6)
+                       for key, value in sorted(self.timing.items())},
+            "cache": dict(self.cache_stats),
             "summary": {
                 "total": len(self.findings),
                 "new": len(self.new_findings),

@@ -1,0 +1,289 @@
+"""``--fix``: mechanical rewrites for a subset of findings.
+
+Three fixers, all deliberately boring text surgery (no AST re-emission, so
+untouched lines keep their bytes and diffs stay reviewable):
+
+* **pragma insertion** (``race-discipline``, ``hot-path-alloc``) — insert
+  a standalone ``# repro: allow[rule] -- TODO: <reason>`` line above the
+  finding, matching its indentation.  The TODO is the point: the fix
+  unblocks the gate while forcing a human to either justify or properly
+  fix before review.
+* **schema-constant rewrite** (``schema-discipline``) — replace an inline
+  ``"family/vN"`` literal with the registered constant from
+  :mod:`repro.schemas`, adding ``from repro import schemas`` when the
+  module does not import it yet.  Tags with no registered constant are
+  left alone (reported as skipped): inventing registry entries is a
+  design decision, not a mechanical fix.
+* **dead-shim-param removal** (``shim-drift`` "accepts ... but never
+  forwards it") — delete the parameter from the shim's signature.
+
+Fixes are applied bottom-up per file so earlier line numbers stay valid,
+and the whole pass is idempotent: a second run over the fixed tree finds
+nothing left to do (pragmas suppress, constants no longer match, params
+are gone).  ``dry_run`` produces a unified diff instead of writing.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import schemas
+from .findings import Finding
+from .project import Project
+
+#: Rules whose remediation may legitimately be "annotate with a reason".
+PRAGMA_RULES = ("race-discipline", "hot-path-alloc")
+
+_TAG_RE = re.compile(r"[A-Za-z_][\w.]*/v\d+\Z")
+_DEAD_PARAM_RE = re.compile(r"accepts '(\w+)' but never forwards it")
+_SCHEMA_TAG_IN_MSG_RE = re.compile(r"schema tag '([^']+)' spelled inline")
+_IMPORTS_SCHEMAS_RE = re.compile(
+    r"^\s*(from\s+repro\s+import\s+.*\bschemas\b"
+    r"|from\s+\.+\s*import\s+.*\bschemas\b"
+    r"|import\s+repro\.schemas\b)", re.MULTILINE)
+
+
+def registered_constants() -> Dict[str, str]:
+    """Map registered tag values to their constant names in repro.schemas."""
+    constants: Dict[str, str] = {}
+    for name in dir(schemas):
+        if name.startswith("_"):
+            continue
+        value = getattr(schemas, name)
+        if isinstance(value, str) and _TAG_RE.match(value):
+            constants[value] = name
+    return constants
+
+
+@dataclass
+class FixOutcome:
+    """What one fix pass did (or would do, under dry-run)."""
+
+    #: path -> unified diff text (only files with changes appear).
+    diffs: Dict[str, str] = field(default_factory=dict)
+    #: human-readable lines describing each edit.
+    applied: List[str] = field(default_factory=list)
+    #: findings no fixer covers (or covers but could not apply).
+    skipped: List[Finding] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.diffs)
+
+    def combined_diff(self) -> str:
+        return "".join(self.diffs[path] for path in sorted(self.diffs))
+
+
+def apply_fixes(project: Project, findings: List[Finding],
+                dry_run: bool = False) -> FixOutcome:
+    """Apply every available mechanical fix for ``findings``."""
+    outcome = FixOutcome()
+    constants = registered_constants()
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    modules = {module.rel_path: module for module in project.modules}
+    for rel_path in sorted(by_path):
+        module = modules.get(rel_path)
+        if module is None:
+            outcome.skipped.extend(by_path[rel_path])
+            continue
+        original = module.source
+        lines = original.splitlines(keepends=True)
+        needs_schemas_import = False
+
+        # bottom-up so line numbers stay valid while we edit
+        for finding in sorted(by_path[rel_path],
+                              key=lambda f: f.line, reverse=True):
+            if finding.rule in PRAGMA_RULES:
+                inserted = _insert_pragma(lines, finding)
+                if inserted:
+                    outcome.applied.append(
+                        f"{rel_path}:{finding.line}: pragma "
+                        f"allow[{finding.rule}] inserted (TODO reason)")
+                else:
+                    outcome.skipped.append(finding)
+            elif finding.rule == "schema-discipline":
+                replaced = _replace_schema_literal(lines, finding, constants)
+                if replaced:
+                    needs_schemas_import = True
+                    outcome.applied.append(
+                        f"{rel_path}:{finding.line}: inline tag replaced "
+                        f"with schemas.{replaced}")
+                else:
+                    outcome.skipped.append(finding)
+            elif finding.rule == "shim-drift":
+                match = _DEAD_PARAM_RE.search(finding.message)
+                if match and _remove_parameter(lines, finding.line,
+                                               match.group(1)):
+                    outcome.applied.append(
+                        f"{rel_path}:{finding.line}: dead shim parameter "
+                        f"'{match.group(1)}' removed")
+                else:
+                    outcome.skipped.append(finding)
+            else:
+                outcome.skipped.append(finding)
+
+        updated = "".join(lines)
+        if needs_schemas_import and not _IMPORTS_SCHEMAS_RE.search(updated):
+            lines = updated.splitlines(keepends=True)
+            _insert_schemas_import(lines)
+            updated = "".join(lines)
+
+        if updated != original:
+            diff = "".join(difflib.unified_diff(
+                original.splitlines(keepends=True),
+                updated.splitlines(keepends=True),
+                fromfile=f"a/{rel_path}", tofile=f"b/{rel_path}"))
+            outcome.diffs[rel_path] = diff
+            if not dry_run:
+                module.path.write_text(updated, encoding="utf-8")
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# individual fixers (operate on a keepends line list, in place)
+# ----------------------------------------------------------------------
+def _insert_pragma(lines: List[str], finding: Finding) -> bool:
+    index = finding.line - 1
+    if index < 0 or index >= len(lines):
+        return False
+    target = lines[index]
+    above = lines[index - 1] if index > 0 else ""
+    marker = f"allow[{finding.rule}"
+    if marker.split("[")[0] and (f"repro: allow" in target
+                                 or "repro: allow" in above):
+        # Something is already annotated here; don't stack pragmas.
+        return False
+    indent = target[:len(target) - len(target.lstrip())]
+    lines.insert(index, f"{indent}# repro: allow[{finding.rule}] -- "
+                        f"TODO: justify or fix before merging\n")
+    return True
+
+
+def _replace_schema_literal(lines: List[str], finding: Finding,
+                            constants: Dict[str, str]) -> Optional[str]:
+    match = _SCHEMA_TAG_IN_MSG_RE.search(finding.message)
+    if not match:
+        return None
+    tag = match.group(1)
+    constant = constants.get(tag)
+    if constant is None:
+        return None
+    index = finding.line - 1
+    if index < 0 or index >= len(lines):
+        return None
+    line = lines[index]
+    for quoted in (f'"{tag}"', f"'{tag}'"):
+        if quoted in line:
+            lines[index] = line.replace(quoted, f"schemas.{constant}", 1)
+            return constant
+    return None
+
+
+def _insert_schemas_import(lines: List[str]) -> None:
+    """Add ``from repro import schemas`` after the last top-level import."""
+    last_import = None
+    depth_hint = 0
+    for number, line in enumerate(lines):
+        stripped = line.strip()
+        if line.startswith(("import ", "from ")):
+            last_import = number
+        elif stripped.startswith(('"""', "'''")):
+            depth_hint += stripped.count('"""') + stripped.count("'''")
+        elif stripped and not stripped.startswith("#") \
+                and last_import is not None:
+            break
+    insert_at = (last_import + 1) if last_import is not None else 0
+    lines.insert(insert_at, "from repro import schemas\n")
+
+
+def _remove_parameter(lines: List[str], def_line: int, name: str) -> bool:
+    """Delete parameter ``name`` from the signature starting at def_line."""
+    start = def_line - 1
+    if start < 0 or start >= len(lines):
+        return False
+    text = "".join(lines[start:])
+    open_paren = text.find("(")
+    if open_paren < 0:
+        return False
+    span = _matching_paren(text, open_paren)
+    if span is None:
+        return False
+    inner_start, inner_end = open_paren + 1, span
+    chunks = _split_params(text, inner_start, inner_end)
+    for index, (chunk_start, chunk_end) in enumerate(chunks):
+        chunk = text[chunk_start:chunk_end]
+        param = re.match(r"\s*(\w+)", chunk)
+        if param is None or param.group(1) != name:
+            continue
+        if index + 1 < len(chunks):           # eat the following comma
+            cut_start, cut_end = chunk_start, chunks[index + 1][0]
+        elif index > 0:                       # last param: eat the comma before
+            cut_start, cut_end = chunks[index - 1][1], chunk_end
+        else:                                 # only param
+            cut_start, cut_end = chunk_start, chunk_end
+        new_text = text[:cut_start] + text[cut_end:]
+        del lines[start:]
+        lines.extend(new_text.splitlines(keepends=True))
+        return True
+    return False
+
+
+def _matching_paren(text: str, open_index: int) -> Optional[int]:
+    depth = 0
+    quote: Optional[str] = None
+    index = open_index
+    while index < len(text):
+        char = text[index]
+        if quote is not None:
+            if char == "\\":
+                index += 2
+                continue
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth == 0:
+                return index
+        index += 1
+    return None
+
+
+def _split_params(text: str, start: int,
+                  end: int) -> List[Tuple[int, int]]:
+    """Spans of top-level comma-separated chunks inside ``text[start:end]``."""
+    chunks: List[Tuple[int, int]] = []
+    depth = 0
+    quote: Optional[str] = None
+    chunk_start = start
+    index = start
+    while index < end:
+        char = text[index]
+        if quote is not None:
+            if char == "\\":
+                index += 2
+                continue
+            if char == quote:
+                quote = None
+        elif char in "\"'":
+            quote = char
+        elif char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        elif char == "," and depth == 0:
+            chunks.append((chunk_start, index))
+            chunk_start = index + 1
+        index += 1
+    if text[chunk_start:end].strip():
+        chunks.append((chunk_start, end))
+    return chunks

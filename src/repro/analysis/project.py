@@ -5,6 +5,12 @@ metadata checkers keep re-deriving — the repo-relative path, the path
 *relative to the repro package* (what config globs match against), the
 dotted module name, and the ``# repro: allow[rule]`` pragma map.
 
+Every module also carries the sha256 of its source bytes, which is the key
+of the incremental fact cache (:mod:`repro.analysis.cache`): when a warm
+run finds a cache entry for a file's hash, the file's AST is not needed for
+the summary-driven rules, so parsing is *lazy* — ``Module.tree`` parses on
+first access and only the checkers that genuinely walk syntax pay for it.
+
 Pragmas
 -------
 A finding is suppressed when the flagged line carries a trailing pragma::
@@ -18,19 +24,24 @@ or when the line directly above is a standalone pragma comment::
 
 ``allow[*]`` suppresses every rule on that line; multiple rules separate
 with commas (``allow[determinism, stage-purity]``).
+
+A second marker, ``# repro: hot`` on (or directly above) a ``def`` line,
+declares the function perf-critical and opts it into the
+``hot-path-alloc`` rule (see :mod:`repro.analysis.checkers.hotpath`).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
 from .findings import Finding
 
 _PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_HOT_RE = re.compile(r"#\s*repro:\s*hot\b")
 
 
 def parse_pragmas(source: str) -> Dict[int, Set[str]]:
@@ -45,17 +56,50 @@ def parse_pragmas(source: str) -> Dict[int, Set[str]]:
     return pragmas
 
 
-@dataclass
-class Module:
-    """One parsed source file plus the lookups checkers need."""
+def parse_hot_markers(source: str) -> Set[int]:
+    """1-based line numbers carrying a ``# repro: hot`` marker."""
+    return {number for number, line in enumerate(source.splitlines(), start=1)
+            if _HOT_RE.search(line)}
 
-    path: Path                  # absolute path on disk
-    rel_path: str               # repo-relative posix path (for findings)
-    pkg_path: str               # path relative to the repro package, or rel_path
-    module_name: str            # dotted name, e.g. "repro.serving.pool"
-    tree: ast.Module
-    source: str
-    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+def content_sha256(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class Module:
+    """One source file plus the lookups checkers need.
+
+    ``tree`` is parsed lazily: construct with ``tree=None`` (cache hit) and
+    the first checker that touches syntax triggers the parse.  Files that
+    fail to parse are never turned into modules (see :meth:`Project.load`),
+    so the lazy parse can only fail if the file changed mid-run.
+    """
+
+    def __init__(self, path: Path, rel_path: str, pkg_path: str,
+                 module_name: str, source: str,
+                 tree: Optional[ast.Module] = None,
+                 pragmas: Optional[Dict[int, Set[str]]] = None,
+                 sha256: str = ""):
+        self.path = path
+        self.rel_path = rel_path
+        self.pkg_path = pkg_path
+        self.module_name = module_name
+        self.source = source
+        self.pragmas = parse_pragmas(source) if pragmas is None else pragmas
+        self.sha256 = sha256 or content_sha256(source)
+        self.hot_lines = parse_hot_markers(source)
+        self._tree = tree
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    @property
+    def parsed(self) -> bool:
+        """Whether the AST has been materialized (cache-hit files defer it)."""
+        return self._tree is not None
 
     @property
     def lines(self) -> List[str]:
@@ -77,6 +121,11 @@ class Module:
                 return True
         return False
 
+    def is_hot(self, def_line: int) -> bool:
+        """Whether a ``def`` at ``def_line`` carries a ``# repro: hot``."""
+        return (def_line in self.hot_lines
+                or def_line - 1 in self.hot_lines)
+
 
 class Project:
     """Every parsed module of one analysis run, indexed for checkers."""
@@ -88,6 +137,8 @@ class Project:
         self._by_pkg_path = {module.pkg_path: module for module in self.modules}
         #: Files that failed to parse, reported as findings by the runner.
         self.errors: List[Finding] = []
+        #: Lazily-built interprocedural context (see analysis.callgraph).
+        self._context = None
 
     # ------------------------------------------------------------------
     def module(self, name: str) -> Optional[Module]:
@@ -100,12 +151,16 @@ class Project:
     # ------------------------------------------------------------------
     @classmethod
     def load(cls, paths: Sequence[Path],
-             repo_root: Optional[Path] = None) -> "Project":
+             repo_root: Optional[Path] = None,
+             defer_parse_for: Optional[Set[str]] = None) -> "Project":
         """Parse every ``.py`` file under ``paths`` into a project.
 
         ``repo_root`` anchors the repo-relative paths findings report;
         it defaults to the common parent that contains a ``src`` dir, else
-        the current directory.
+        the current directory.  ``defer_parse_for`` is a set of content
+        sha256 hashes known to the fact cache: files matching one are
+        loaded without parsing (their AST materializes lazily if a
+        syntax-walking checker needs it).
         """
         paths = [Path(path).resolve() for path in paths]
         if repo_root is None:
@@ -125,20 +180,22 @@ class Project:
             seen.add(file_path)
             rel_path = _relative_posix(file_path, repo_root)
             source = file_path.read_text(encoding="utf-8")
-            try:
-                tree = ast.parse(source, filename=str(file_path))
-            except SyntaxError as error:
-                errors.append(Finding(
-                    rule="syntax", path=rel_path,
-                    line=error.lineno or 0, col=error.offset or 0,
-                    message=f"file does not parse: {error.msg}"))
-                continue
+            sha256 = content_sha256(source)
+            tree: Optional[ast.Module] = None
+            if not (defer_parse_for and sha256 in defer_parse_for):
+                try:
+                    tree = ast.parse(source, filename=str(file_path))
+                except SyntaxError as error:
+                    errors.append(Finding(
+                        rule="syntax", path=rel_path,
+                        line=error.lineno or 0, col=error.offset or 0,
+                        message=f"file does not parse: {error.msg}"))
+                    continue
             modules.append(Module(
                 path=file_path, rel_path=rel_path,
                 pkg_path=_package_relative(rel_path),
                 module_name=_dotted_name(rel_path),
-                tree=tree, source=source,
-                pragmas=parse_pragmas(source)))
+                source=source, tree=tree, sha256=sha256))
         project = cls(modules, roots=paths)
         project.errors = errors
         return project

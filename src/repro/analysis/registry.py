@@ -3,18 +3,32 @@
 A checker is a class with a ``name``, a ``description`` and a
 ``check(project, config) -> List[Finding]`` method, registered via
 :func:`register_checker` (mirroring the scheme/sampler/workload registries
-elsewhere in the repo).  :func:`run_checkers` runs a selection of them over
-a parsed :class:`~repro.analysis.project.Project`, applies the pragma
-suppressions and returns the surviving findings sorted by location.
+elsewhere in the repo).
+
+Checkers come in two execution shapes:
+
+* **project checkers** implement ``check`` and see the whole project —
+  the interprocedural rules (determinism, race-discipline, stage-purity,
+  shim-drift) live here;
+* **cacheable checkers** set ``cacheable = True`` and implement
+  ``check_module(module, config)`` instead: their findings are a pure
+  function of one file's content plus the config, so the driver can serve
+  them from the fact cache on warm runs and only re-run changed files.
+
+:func:`run_analysis` is the full driver — cache-aware, per-rule timed.
+:func:`run_checkers` is the original thin entry point, kept because tests
+and external callers use its ``(findings, suppressed)`` shape.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from .config import AnalysisConfig
 from .findings import Finding
-from .project import Project
+from .project import Module, Project
 
 _CHECKERS: Dict[str, Type] = {}
 
@@ -24,9 +38,25 @@ class Checker:
 
     name: str = ""
     description: str = ""
+    #: True when findings are a pure function of (one file's content,
+    #: config) — lets the driver cache them per file.
+    cacheable: bool = False
+    #: True when ``check`` reads the interprocedural context (module
+    #: summaries + call graph); the driver then builds it up front so the
+    #: fact cache can serve the summaries.
+    needs_context: bool = False
 
     def check(self, project: Project,
               config: AnalysisConfig) -> List[Finding]:
+        if not self.cacheable:
+            raise NotImplementedError
+        findings: List[Finding] = []
+        for module in project.modules:
+            findings.extend(self.check_module(module, config))
+        return findings
+
+    def check_module(self, module: Module,
+                     config: AnalysisConfig) -> List[Finding]:
         raise NotImplementedError
 
 
@@ -62,22 +92,57 @@ def _ensure_builtin_checkers() -> None:
     from . import checkers  # noqa: F401
 
 
-def run_checkers(project: Project, config: Optional[AnalysisConfig] = None,
-                 rules: Optional[Sequence[str]] = None
-                 ) -> Tuple[List[Finding], int]:
-    """Run checkers over ``project``; returns (findings, suppressed count).
+@dataclass
+class AnalysisRun:
+    """Everything one driver pass produced, pre-baseline."""
+
+    findings: List[Finding]
+    suppressed: int
+    #: rule name -> seconds (plus "total").
+    timing: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict = field(default_factory=lambda: {"enabled": False})
+
+
+def run_analysis(project: Project,
+                 config: Optional[AnalysisConfig] = None,
+                 rules: Optional[Sequence[str]] = None,
+                 cache=None) -> AnalysisRun:
+    """Run checkers over ``project`` with timing and optional fact cache.
 
     ``rules=None`` runs every registered checker.  Pragma-suppressed
     findings are dropped (counted), parse errors from project loading are
-    prepended as ``syntax`` findings (never suppressible).
+    prepended as ``syntax`` findings (never suppressible).  With a
+    :class:`~repro.analysis.cache.FactCache`, cacheable rules are served
+    per file from the cache and re-run only for changed files; the
+    interprocedural rules run off (possibly cached) module summaries.
     """
     _ensure_builtin_checkers()
     config = config or AnalysisConfig()
     names = list(rules) if rules is not None else [name for name, _
                                                    in available_checkers()]
+    started = time.perf_counter()
+    timing: Dict[str, float] = {}
+    checkers = [get_checker(name) for name in names]
+    if any(checker.needs_context for checker in checkers):
+        from .callgraph import get_context
+        get_context(project, cache)  # built once, with cached summaries
+        timing["callgraph"] = time.perf_counter() - started
     raw: List[Finding] = []
-    for name in names:
-        raw.extend(get_checker(name).check(project, config))
+    for name, checker in zip(names, checkers):
+        rule_started = time.perf_counter()
+        if checker.cacheable and cache is not None:
+            for module in project.modules:
+                cached = cache.load_findings(module, name)
+                if cached is not None:
+                    raw.extend(cached)
+                    continue
+                fresh = checker.check_module(module, config)
+                cache.store_findings(module, name, fresh)
+                raw.extend(fresh)
+        else:
+            raw.extend(checker.check(project, config))
+        timing[name] = time.perf_counter() - rule_started
+    timing["total"] = time.perf_counter() - started
 
     by_path = {module.rel_path: module for module in project.modules}
     findings: List[Finding] = list(project.errors)
@@ -89,4 +154,21 @@ def run_checkers(project: Project, config: Optional[AnalysisConfig] = None,
             continue
         findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
-    return findings, suppressed
+
+    cache_stats: Dict = {"enabled": cache is not None}
+    if cache is not None:
+        cache_stats.update(cache.stats())
+        context = project._context
+        if context is not None:
+            cache_stats["summary_hits"] = context.cache_hits
+            cache_stats["summary_misses"] = context.cache_misses
+    return AnalysisRun(findings=findings, suppressed=suppressed,
+                       timing=timing, cache_stats=cache_stats)
+
+
+def run_checkers(project: Project, config: Optional[AnalysisConfig] = None,
+                 rules: Optional[Sequence[str]] = None
+                 ) -> Tuple[List[Finding], int]:
+    """Compatibility entry point: (findings, suppressed count)."""
+    run = run_analysis(project, config, rules)
+    return run.findings, run.suppressed

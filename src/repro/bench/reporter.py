@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import schemas
 from ..core.hashing import content_hash
 from .compare import CALIBRATION_WORKLOAD, compare_reports
 from .registry import FAST_ARM, PRE_ARM, Workload, workloads_for_suite
@@ -190,6 +191,7 @@ def build_report(suite: str, results: List[Tuple[Workload, Measurement]],
                  threshold: float = 0.25, normalize: bool = True) -> Dict:
     """Assemble the full ``BENCH_<suite>.json`` document."""
     report = {
+        "schema": schemas.BENCH_REPORT,
         "schema_version": SCHEMA_VERSION,
         "suite": suite,
         "environment": environment_fingerprint(),

@@ -580,3 +580,56 @@ register_workload("telemetry.overhead.pre", _setup_telemetry(PRE_ARM),
 register_workload("telemetry.overhead.fast", _setup_telemetry(FAST_ARM),
                   suites=_MACRO, pair="telemetry.overhead", arm=FAST_ARM,
                   repeats=9)
+
+
+# ----------------------------------------------------------------------
+# static analysis: cold fact cache (pre) vs warm content-addressed cache
+# ----------------------------------------------------------------------
+def _setup_analysis(arm: str):
+    def setup():
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        from ..analysis.cache import FactCache
+        from ..analysis.config import AnalysisConfig
+        from ..analysis.project import Project
+        from ..analysis.registry import run_analysis
+
+        src_root = Path(__file__).resolve().parents[2]  # .../src
+        config = AnalysisConfig()
+        cache_dir = Path(tempfile.mkdtemp(prefix="repro-bench-analysis-"))
+
+        def analyze(cold: bool):
+            if cold:
+                shutil.rmtree(cache_dir, ignore_errors=True)
+            cache = FactCache(cache_dir,
+                              config_fingerprint=config.fingerprint())
+            project = Project.load([src_root],
+                                   defer_parse_for=cache.cached_hashes())
+            run = run_analysis(project, config, cache=cache)
+            return sorted(f.identity() for f in run.findings)
+
+        def run_cold():
+            return analyze(cold=True)
+
+        def run_warm():
+            return analyze(cold=False)
+
+        # Both arms must report the identical finding set: the warm arm
+        # may only skip work, never skip findings.  run_cold() also leaves
+        # the cache populated, so the timed warm runs start warm.
+        if arm == FAST_ARM and run_cold() != run_warm():
+            raise AssertionError("cached analysis changed the findings")
+        run = run_warm if arm == FAST_ARM else run_cold
+        return run, {"root": str(src_root), "cached": arm == FAST_ARM}
+
+    return setup
+
+
+register_workload("analysis.full.pre", _setup_analysis(PRE_ARM),
+                  suites=("ci", "full"), pair="analysis.full", arm=PRE_ARM,
+                  repeats=3, warmup=1)
+register_workload("analysis.full.fast", _setup_analysis(FAST_ARM),
+                  suites=("ci", "full"), pair="analysis.full", arm=FAST_ARM,
+                  repeats=3, warmup=1)

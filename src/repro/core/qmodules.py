@@ -119,6 +119,7 @@ class PackedIntWeight:
         """Unpacked integer levels, flattened."""
         return _unpack_levels(self.packed, self.fmt.bitwidth, self.num_elements)
 
+    # repro: hot -- weight-only layers dequantize on every forward until memoized
     def dequantize(self) -> np.ndarray:
         """Memoized float32 grid values of the packed levels."""
         if self._dequantized is None:

@@ -45,6 +45,7 @@ the ``telemetry.overhead`` bench workload).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -58,6 +59,7 @@ TraceFn = Callable[[int, np.ndarray], None]
 
 def _predict_noise(model, x: np.ndarray, t: np.ndarray,
                    context: Optional[Tensor]) -> np.ndarray:
+    # repro: allow[hot-path-alloc] -- every sampler loop calls this under 'with inference_mode():'; the wrapper is graph-free
     prediction = model(Tensor(x), t, context=context)
     return prediction.data
 
@@ -140,6 +142,7 @@ class DDPMSampler:
     def __init__(self, schedule: NoiseSchedule):
         self.schedule = schedule
 
+    # repro: hot -- T model evaluations per image; per-step temporaries dominate non-model cost
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
@@ -155,11 +158,12 @@ class DDPMSampler:
         x = _resolve_initial_noise(shape, rng, initial_noise)
         buffers = _StepBuffers(shape)
         work = buffers.work1
+        t_batch = np.empty((shape[0],), dtype=np.int64)
         with inference_mode():
             for t in reversed(range(schedule.num_timesteps)):
                 if tracer is not None:
                     span_started = tracer.time()
-                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                t_batch.fill(t)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha = schedule.alphas[t]
                 alpha_bar = schedule.alphas_bar[t]
@@ -169,6 +173,7 @@ class DDPMSampler:
                 np.subtract(x, work, out=work)
                 np.divide(work, np.sqrt(alpha), out=work)
                 if t > 0:
+                    # repro: allow[hot-path-alloc] -- float64 draw + cast keeps trajectories bit-identical to the legacy spelling
                     noise = rng.standard_normal(shape).astype(np.float32)
                     np.multiply(noise, np.sqrt(beta), out=buffers.work2)
                     np.add(work, buffers.work2, out=work)
@@ -185,6 +190,10 @@ class DDPMSampler:
 #: pipeline call rebuilds its sampler from the generation plan, so the table
 #: construction must not be repaid per call.
 _TIMESTEP_TABLES: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+
+#: Serving replicas build samplers from worker threads (variant pool warmup
+#: and per-request plan changes), so the table memo is lock-guarded.
+_TIMESTEP_LOCK = threading.Lock()
 
 
 def _validate_num_steps(schedule: NoiseSchedule, num_steps: int) -> None:
@@ -219,25 +228,27 @@ class DDIMSampler:
         request raises instead of under-delivering steps.
         """
         key = (train_steps, num_steps)
-        cached = _TIMESTEP_TABLES.get(key)
-        if cached is None:
-            stride = train_steps / num_steps
-            raw = (min(int(round(stride * i)), train_steps - 1)
-                   for i in range(num_steps))
-            steps = set(raw)
-            if len(steps) < num_steps:
-                for candidate in range(train_steps):
-                    if len(steps) == num_steps:
-                        break
-                    steps.add(candidate)
-            if len(steps) != num_steps:
-                raise ValueError(
-                    f"cannot visit {num_steps} distinct timesteps out of "
-                    f"{train_steps} training steps")
-            cached = tuple(sorted(steps, reverse=True))
-            _TIMESTEP_TABLES[key] = cached
+        with _TIMESTEP_LOCK:
+            cached = _TIMESTEP_TABLES.get(key)
+            if cached is None:
+                stride = train_steps / num_steps
+                raw = (min(int(round(stride * i)), train_steps - 1)
+                       for i in range(num_steps))
+                steps = set(raw)
+                if len(steps) < num_steps:
+                    for candidate in range(train_steps):
+                        if len(steps) == num_steps:
+                            break
+                        steps.add(candidate)
+                if len(steps) != num_steps:
+                    raise ValueError(
+                        f"cannot visit {num_steps} distinct timesteps out of "
+                        f"{train_steps} training steps")
+                cached = tuple(sorted(steps, reverse=True))
+                _TIMESTEP_TABLES[key] = cached
         return list(cached)
 
+    # repro: hot -- the paper's fast path: num_steps model evaluations per image
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
@@ -252,11 +263,12 @@ class DDIMSampler:
         timesteps = self.timesteps
         buffers = _StepBuffers(shape)
         work, work2 = buffers.work1, buffers.work2
+        t_batch = np.empty((shape[0],), dtype=np.int64)
         with inference_mode():
             for index, t in enumerate(timesteps):
                 if tracer is not None:
                     span_started = tracer.time()
-                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                t_batch.fill(t)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
                 prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
@@ -275,6 +287,7 @@ class DDIMSampler:
                 np.multiply(work, np.sqrt(alpha_bar_prev), out=work)
                 np.add(work, work2, out=work)
                 if sigma > 0:
+                    # repro: allow[hot-path-alloc] -- float64 draw + cast keeps trajectories bit-identical to the legacy spelling
                     noise = rng.standard_normal(shape).astype(np.float32)
                     np.multiply(noise, sigma, out=work2)
                     np.add(work, work2, out=work)
@@ -334,6 +347,7 @@ class DPMSolver2Sampler:
         self.timesteps = DDIMSampler._build_timesteps(
             schedule.num_timesteps, num_steps)
 
+    # repro: hot -- 2*num_steps-1 model evaluations per image
     def sample(self, model, shape, rng: np.random.Generator,
                context: Optional[Tensor] = None,
                trace: Optional[TraceFn] = None,
@@ -345,11 +359,13 @@ class DPMSolver2Sampler:
         buffers = _StepBuffers(shape)
         midpoint = np.empty(shape, dtype=np.float32)
         eps_avg = np.empty(shape, dtype=np.float32)
+        t_batch = np.empty((shape[0],), dtype=np.int64)
+        prev_batch = np.empty((shape[0],), dtype=np.int64)
         with inference_mode():
             for index, t in enumerate(timesteps):
                 if tracer is not None:
                     span_started = tracer.time()
-                t_batch = np.full((shape[0],), t, dtype=np.int64)
+                t_batch.fill(t)
                 eps = _predict_noise(model, x, t_batch, context)
                 alpha_bar = schedule.alphas_bar[t]
                 prev_t = timesteps[index + 1] if index + 1 < len(timesteps) else -1
@@ -360,7 +376,7 @@ class DPMSolver2Sampler:
                     alpha_bar_prev = schedule.alphas_bar[prev_t]
                     _ddim_step_into(x, eps, alpha_bar, alpha_bar_prev, buffers,
                                     midpoint)
-                    prev_batch = np.full((shape[0],), prev_t, dtype=np.int64)
+                    prev_batch.fill(prev_t)
                     eps_prev = _predict_noise(model, midpoint, prev_batch, context)
                     # eps_avg = 0.5 * (eps + eps_prev)
                     np.add(eps, eps_prev, out=eps_avg)

@@ -23,6 +23,7 @@ are scaled down per EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Sequence
 
 from ..core import PAPER_CONFIGS, QuantizationConfig, measure_weight_sparsity, quantize_pipeline
@@ -42,15 +43,21 @@ from .stages import _dataset_reference  # noqa: F401  (re-exported for tests)
 from .store import RunStore
 
 #: Lazily-created store shared by every harness-level call in the process.
-_DEFAULT_STORE: Optional[RunStore] = None
+#: Lock-guarded: table runners fan rows out to a thread pool, and two
+#: threads racing the first call must not each build (and write through)
+#: their own store.
+_DEFAULT_STORES: dict = {}
+_DEFAULT_STORE_LOCK = threading.Lock()
 
 
 def default_run_store() -> RunStore:
     """The process-wide artifact store used by the shim entry points."""
-    global _DEFAULT_STORE
-    if _DEFAULT_STORE is None:
-        _DEFAULT_STORE = RunStore()
-    return _DEFAULT_STORE
+    with _DEFAULT_STORE_LOCK:
+        store = _DEFAULT_STORES.get("default")
+        if store is None:
+            store = RunStore()
+            _DEFAULT_STORES["default"] = store
+    return store
 
 
 def _resolve_store(store):

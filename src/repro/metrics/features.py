@@ -128,8 +128,10 @@ class FeatureExtractor:
         return np.concatenate(outputs, axis=0)
 
 
-_DEFAULT_EXTRACTOR: FeatureExtractor = None
-_DEFAULT_EXTRACTOR_LOCK = threading.Lock()
+#: Lock-guarded extractor registry; keyed so future variants (different
+#: filter seeds/widths) slot in without another module global.
+_EXTRACTORS: dict = {}
+_EXTRACTORS_LOCK = threading.Lock()
 
 
 def default_extractor() -> FeatureExtractor:
@@ -137,11 +139,14 @@ def default_extractor() -> FeatureExtractor:
 
     Initialization is locked: parallel experiment runners evaluate metric
     stages concurrently, and every thread must observe the same extractor
-    (identical filters) for metric values to be schedule-independent.
+    (identical filters) for metric values to be schedule-independent.  The
+    registry write is a pure memo: FeatureExtractor() is deterministic
+    (fixed seed), so the cached value is a function of its key alone.
     """
-    global _DEFAULT_EXTRACTOR
-    if _DEFAULT_EXTRACTOR is None:
-        with _DEFAULT_EXTRACTOR_LOCK:
-            if _DEFAULT_EXTRACTOR is None:
-                _DEFAULT_EXTRACTOR = FeatureExtractor()
-    return _DEFAULT_EXTRACTOR
+    with _EXTRACTORS_LOCK:
+        extractor = _EXTRACTORS.get("default")
+        if extractor is None:
+            extractor = FeatureExtractor()
+            # repro: allow[stage-purity] -- pure memo: value derives only from the fixed filter seed
+            _EXTRACTORS["default"] = extractor
+    return extractor

@@ -43,8 +43,9 @@ from ..profiling import (
     unet_layer_costs,
 )
 from .tracer import NULL_TRACER
+from .. import schemas
 
-SCHEMA = "repro.obs.calibration/v1"
+SCHEMA = schemas.OBS_CALIBRATION
 
 #: Scheme names whose traffic the roofline prices at full precision (no
 #: registered quantization scheme to resolve byte widths from).

@@ -25,6 +25,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import schemas
+
 LabelKey = Tuple[Tuple[str, str], ...]
 
 
@@ -193,12 +195,12 @@ class MetricsRegistry:
                 "kind": instrument.kind,
                 "state": instrument.snapshot(),
             })
-        return {"schema": "repro.obs.metrics/v1", "metrics": metrics}
+        return {"schema": schemas.OBS_METRICS, "metrics": metrics}
 
     @classmethod
     def restore(cls, snapshot: Dict) -> "MetricsRegistry":
         """Rebuild a registry from a :meth:`snapshot` document."""
-        if snapshot.get("schema") != "repro.obs.metrics/v1":
+        if snapshot.get("schema") != schemas.OBS_METRICS:
             raise ValueError(
                 f"unknown metrics snapshot schema {snapshot.get('schema')!r}")
         registry = cls()

@@ -26,11 +26,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ... import schemas
 from ..request import Request, Response
 from ..stats import percentile_summary
 
 #: Report schema version; bump on breaking layout changes.
-SCHEMA = "cluster_report/v1"
+SCHEMA = schemas.CLUSTER_REPORT
 
 
 class ClusterStats:
@@ -242,6 +243,7 @@ def save_cluster_report(report: Dict, path) -> Path:
     pure function of (trace, cluster config) — the determinism contract
     the smoke tests assert by comparing files across runs.
     """
+    schemas.validate_document(report, expect=schemas.CLUSTER_REPORT)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

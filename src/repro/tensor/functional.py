@@ -32,6 +32,7 @@ _WORKSPACES = threading.local()
 _WORKSPACE_LIMIT = 64
 
 
+# repro: hot -- every conv/matmul on the inference path draws scratch from here
 def _workspace(key: tuple, shape: tuple, dtype, zero: bool = False) -> np.ndarray:
     """Return a cached scratch array for ``key``, (re)allocating on mismatch."""
     cache = getattr(_WORKSPACES, "arrays", None)
@@ -59,6 +60,7 @@ def workspace_count() -> int:
     return len(getattr(_WORKSPACES, "arrays", ()))
 
 
+# repro: hot -- dominant non-matmul cost of every convolution
 def _im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int,
             padding: int, reuse: bool = False) -> Tuple[np.ndarray, Tuple[int, int]]:
     """Rearrange image patches into columns for convolution as a matmul.

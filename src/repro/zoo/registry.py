@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import astuple, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -83,6 +84,13 @@ def pretrain(name: str, config: Optional[PretrainConfig] = None) -> DiffusionMod
 #: turns N disk loads into one.
 _LOADED_MODELS: Dict[Tuple, DiffusionModel] = {}
 
+#: Guards _LOADED_MODELS: replica fleets warm their variant pools from
+#: worker threads, and dict check-then-set is not atomic under free
+#: threading.  Loads happen outside the lock (training/np.load can take
+#: seconds); only the memo write is serialized, and a benign duplicate
+#: load just replaces an identical entry.
+_MEMO_LOCK = threading.Lock()
+
 
 def _memo_key(name: str, config: PretrainConfig,
               cache_dir: Optional[Path]) -> Tuple:
@@ -92,7 +100,8 @@ def _memo_key(name: str, config: PretrainConfig,
 
 def clear_model_memo() -> None:
     """Drop every memoized checkpoint (mainly for tests)."""
-    _LOADED_MODELS.clear()
+    with _MEMO_LOCK:
+        _LOADED_MODELS.clear()
 
 
 def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
@@ -109,8 +118,11 @@ def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
     """
     config = config or PretrainConfig()
     key = _memo_key(name, config, cache_dir)
-    if use_cache and not refresh and key in _LOADED_MODELS:
-        return _LOADED_MODELS[key]
+    if use_cache and not refresh:
+        with _MEMO_LOCK:
+            cached = _LOADED_MODELS.get(key)
+        if cached is not None:
+            return cached
     path = zoo_cache_path(name, config, cache_dir)
     spec = get_model_spec(name)
     if use_cache and path.exists():
@@ -118,12 +130,14 @@ def load_pretrained(name: str, config: Optional[PretrainConfig] = None,
         with np.load(path) as archive:
             model.load_state_dict({key: archive[key] for key in archive.files})
         model.eval()
-        _LOADED_MODELS[key] = model
+        with _MEMO_LOCK:
+            _LOADED_MODELS[key] = model
         return model
     model = pretrain(name, config)
     if use_cache:
         save_checkpoint_atomic(path, model.state_dict())
-        _LOADED_MODELS[key] = model
+        with _MEMO_LOCK:
+            _LOADED_MODELS[key] = model
     return model
 
 

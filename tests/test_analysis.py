@@ -646,11 +646,12 @@ class TestCli:
         assert blocked.returncode == 1
         assert "time.monotonic" in blocked.stdout
 
-    def test_list_rules_names_all_five(self, tmp_path):
+    def test_list_rules_names_all_eight(self, tmp_path):
         result = run_cli(["--list-rules"], cwd=tmp_path)
         assert result.returncode == 0
         for rule in ("determinism", "stage-purity", "fingerprint-coverage",
-                     "tracer-discipline", "shim-drift"):
+                     "tracer-discipline", "shim-drift", "race-discipline",
+                     "hot-path-alloc", "schema-discipline"):
             assert rule in result.stdout
 
     def test_syntax_error_fails_the_gate(self, tmp_path):
@@ -668,12 +669,13 @@ class TestCli:
 # registry and report plumbing
 # ----------------------------------------------------------------------
 class TestRegistryAndReport:
-    def test_all_five_rules_are_registered(self):
+    def test_all_eight_rules_are_registered(self):
         names = [name for name, _ in available_checkers()]
         assert names == sorted(names)
         assert set(names) == {"determinism", "stage-purity",
                               "fingerprint-coverage", "tracer-discipline",
-                              "shim-drift"}
+                              "shim-drift", "race-discipline",
+                              "hot-path-alloc", "schema-discipline"}
 
     def test_unknown_rule_raises(self, tmp_path):
         src = write_tree(tmp_path, {"core/x.py": "VALUE = 1\n"})

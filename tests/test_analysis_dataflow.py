@@ -1,0 +1,521 @@
+"""Tests for the interprocedural analysis layer.
+
+Covers the call-graph/taint engine (2-hop determinism chains), the three
+new rules (``race-discipline``, ``hot-path-alloc``, ``schema-discipline``)
+on planted violations, the content-addressed fact cache (invalidation on
+change, hits on touch-without-change), and the ``--fix`` mode (dry-run
+diff, applied rewrites, idempotence).
+"""
+
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, Project, run_checkers
+from repro.analysis.cache import FactCache
+from repro.analysis.registry import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write_tree(root: Path, files) -> Path:
+    """Write ``{relative_path: source}`` under a src/repro-shaped tree."""
+    for rel, source in files.items():
+        path = root / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    for package in {parent for rel in files
+                    for parent in (Path(rel).parents)}:
+        init = root / "src" / "repro" / package / "__init__.py"
+        if not init.exists():
+            init.parent.mkdir(parents=True, exist_ok=True)
+            init.write_text("")
+    return root / "src"
+
+
+def analyze(root: Path, files, rules=None):
+    src = write_tree(root, files)
+    project = Project.load([src], repo_root=root)
+    findings, suppressed = run_checkers(project, AnalysisConfig(), rules)
+    return findings, suppressed
+
+
+def run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"})
+
+
+# ----------------------------------------------------------------------
+# race-discipline
+# ----------------------------------------------------------------------
+class TestRaceDiscipline:
+    def test_unlocked_global_write_from_spawned_worker(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/jobs.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                RESULTS = {}
+
+                def worker(item):
+                    RESULTS[item] = item * 2
+
+                def fan_out(items):
+                    with ThreadPoolExecutor() as pool:
+                        for item in items:
+                            pool.submit(worker, item)
+            """,
+        }, rules=["race-discipline"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "race-discipline"
+        assert finding.symbol == "worker"
+        assert "'RESULTS'" in finding.message
+        assert "without holding a lock" in finding.message
+
+    def test_lock_guarded_write_is_clean(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/jobs.py": """
+                import threading
+                from concurrent.futures import ThreadPoolExecutor
+
+                RESULTS = {}
+                LOCK = threading.Lock()
+
+                def worker(item):
+                    with LOCK:
+                        RESULTS[item] = item * 2
+
+                def fan_out(items):
+                    with ThreadPoolExecutor() as pool:
+                        for item in items:
+                            pool.submit(worker, item)
+            """,
+        }, rules=["race-discipline"])
+        assert findings == []
+
+    def test_thread_local_state_is_clean(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/jobs.py": """
+                import threading
+                from concurrent.futures import ThreadPoolExecutor
+
+                SCRATCH = threading.local()
+
+                def worker(item):
+                    SCRATCH.value = item
+
+                def fan_out(items):
+                    with ThreadPoolExecutor() as pool:
+                        for item in items:
+                            pool.submit(worker, item)
+            """,
+        }, rules=["race-discipline"])
+        assert findings == []
+
+    def test_configured_worker_entry_seeds_reachability(self, tmp_path):
+        # No executor in sight: ServingEngine.pump is worker-reachable by
+        # config (the real pump runs on the engine's worker thread).
+        findings, _ = analyze(tmp_path, {
+            "serving/engine.py": """
+                EVENTS = []
+
+                class ServingEngine:
+                    def pump(self):
+                        self._drain()
+
+                    def _drain(self):
+                        EVENTS.append("tick")
+            """,
+        }, rules=["race-discipline"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "ServingEngine._drain"
+        assert "'EVENTS'" in findings[0].message
+
+    def test_pragma_suppresses_with_reason(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "serving/jobs.py": """
+                from concurrent.futures import ThreadPoolExecutor
+
+                RESULTS = {}
+
+                def worker(item):
+                    # repro: allow[race-discipline] -- items are unique per worker
+                    RESULTS[item] = item * 2
+
+                def fan_out(items):
+                    with ThreadPoolExecutor() as pool:
+                        for item in items:
+                            pool.submit(worker, item)
+            """,
+        }, rules=["race-discipline"])
+        assert findings == []
+        assert suppressed == 1
+
+
+# ----------------------------------------------------------------------
+# hot-path-alloc
+# ----------------------------------------------------------------------
+class TestHotPathAlloc:
+    def test_ndarray_alloc_in_hot_loop(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/kernels.py": """
+                import numpy as np
+
+                # repro: hot
+                def step_all(xs):
+                    out = []
+                    for x in xs:
+                        buf = np.zeros(x.shape)
+                        out.append(buf + x)
+                    return out
+            """,
+        }, rules=["hot-path-alloc"])
+        assert len(findings) == 1
+        assert "np.zeros" in findings[0].message or "zeros" in findings[0].message
+        assert "preallocate" in findings[0].message
+
+    def test_unmarked_function_is_not_policed(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/kernels.py": """
+                import numpy as np
+
+                def step_all(xs):
+                    return [np.zeros(x.shape) for x in xs]
+            """,
+        }, rules=["hot-path-alloc"])
+        assert findings == []
+
+    def test_tensor_outside_inference_mode(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/forward.py": """
+                from repro.tensor import Tensor, inference_mode
+
+                # repro: hot
+                def slow_forward(x):
+                    return Tensor(x)
+
+                # repro: hot
+                def fast_forward(x):
+                    with inference_mode():
+                        return Tensor(x)
+            """,
+        }, rules=["hot-path-alloc"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "slow_forward"
+        assert "inference_mode" in findings[0].message
+
+    def test_closure_allocation_in_hot_loop(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/loops.py": """
+                # repro: hot
+                def drive(items):
+                    hooks = []
+                    for item in items:
+                        hooks.append(lambda: item)
+                    return hooks
+            """,
+        }, rules=["hot-path-alloc"])
+        assert len(findings) == 1
+        assert "closure" in findings[0].message or "define it once" in findings[0].message
+
+    def test_hotness_propagates_to_same_module_callees(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/pipeline.py": """
+                import numpy as np
+
+                # repro: hot
+                def outer(xs):
+                    return _inner(xs)
+
+                def _inner(xs):
+                    acc = []
+                    for x in xs:
+                        acc.append(np.empty(x.shape))
+                    return acc
+            """,
+        }, rules=["hot-path-alloc"])
+        assert len(findings) == 1
+        assert findings[0].symbol == "_inner"
+
+
+# ----------------------------------------------------------------------
+# schema-discipline
+# ----------------------------------------------------------------------
+class TestSchemaDiscipline:
+    def test_inline_tag_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "obs/export.py": """
+                def dump():
+                    return {"schema": "demo.report/v1", "rows": []}
+            """,
+        }, rules=["schema-discipline"])
+        assert len(findings) == 1
+        assert "'demo.report/v1'" in findings[0].message
+        assert "repro.schemas" in findings[0].message
+
+    def test_registered_constant_is_clean(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "obs/export.py": """
+                from repro import schemas
+
+                def dump():
+                    return {"schema": schemas.OBS_METRICS, "rows": []}
+            """,
+        }, rules=["schema-discipline"])
+        assert findings == []
+
+    def test_registry_module_itself_is_exempt(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "schemas.py": """
+                DEMO = "demo.report/v1"
+            """,
+        }, rules=["schema-discipline"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# interprocedural determinism taint
+# ----------------------------------------------------------------------
+class TestInterproceduralDeterminism:
+    def test_two_hop_wall_clock_chain(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/loop.py": """
+                from repro.util.helpers import stamp
+
+                def tick(events):
+                    events.append(stamp())
+            """,
+            "util/helpers.py": """
+                import time
+
+                def stamp():
+                    return fmt()
+
+                def fmt():
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path.endswith("serving/loop.py")
+        assert finding.symbol == "tick"
+        assert "helpers.stamp" in finding.message
+        assert "wall-clock 'time.time'" in finding.message
+
+    def test_clock_boundary_stops_the_taint(self, tmp_path):
+        # profiling/latency.py owns the real clock; calls into it are the
+        # sanctioned way to measure, not a determinism leak.
+        findings, _ = analyze(tmp_path, {
+            "serving/loop.py": """
+                from repro.profiling.latency import measure
+
+                def tick(events):
+                    events.append(measure())
+            """,
+            "profiling/latency.py": """
+                import time
+
+                def measure():
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert findings == []
+
+    def test_local_findings_keep_v1_message(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/loop.py": """
+                import time
+
+                def tick():
+                    return time.time()
+            """,
+        }, rules=["determinism"])
+        assert len(findings) == 1
+        assert findings[0].message == (
+            "wall-clock 'time.time' used in a virtual-time module; "
+            "inject a clock parameter instead")
+
+
+# ----------------------------------------------------------------------
+# content-addressed fact cache
+# ----------------------------------------------------------------------
+class TestFactCache:
+    FILES = {
+        "serving/loop.py": """
+            import time
+
+            def tick():
+                return time.time()
+        """,
+        "core/math.py": """
+            def add(a, b):
+                return a + b
+        """,
+    }
+
+    def _run(self, root: Path, cache_dir: Path):
+        config = AnalysisConfig()
+        cache = FactCache(cache_dir, config_fingerprint=config.fingerprint())
+        project = Project.load([root / "src"], repo_root=root,
+                               defer_parse_for=cache.cached_hashes())
+        return run_analysis(project, config, cache=cache)
+
+    def test_cold_then_warm(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cache_dir = tmp_path / "cache"
+        cold = self._run(tmp_path, cache_dir)
+        assert cold.cache_stats["misses"] > 0
+        assert cold.cache_stats["writes"] > 0
+        warm = self._run(tmp_path, cache_dir)
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] > 0
+        assert ([f.identity() for f in warm.findings]
+                == [f.identity() for f in cold.findings])
+
+    def test_touch_without_change_still_hits(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cache_dir = tmp_path / "cache"
+        self._run(tmp_path, cache_dir)
+        target = tmp_path / "src" / "repro" / "core" / "math.py"
+        target.write_text(target.read_text())  # same bytes, new mtime
+        warm = self._run(tmp_path, cache_dir)
+        assert warm.cache_stats["misses"] == 0
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cache_dir = tmp_path / "cache"
+        cold = self._run(tmp_path, cache_dir)
+        target = tmp_path / "src" / "repro" / "core" / "math.py"
+        target.write_text(target.read_text()
+                          + "\n\ndef sub(a, b):\n    return a - b\n")
+        warm = self._run(tmp_path, cache_dir)
+        # Exactly the edited file re-analyzes; every other blob hits.
+        assert warm.cache_stats["misses"] == 1
+        assert warm.cache_stats["hits"] > 0
+        assert ([f.identity() for f in warm.findings]
+                == [f.identity() for f in cold.findings])
+
+    def test_config_change_invalidates_everything(self, tmp_path):
+        write_tree(tmp_path, self.FILES)
+        cache_dir = tmp_path / "cache"
+        cold = self._run(tmp_path, cache_dir)
+        changed = AnalysisConfig(virtual_time_modules=("nowhere/*.py",))
+        assert changed.fingerprint() != AnalysisConfig().fingerprint()
+        cache = FactCache(cache_dir,
+                          config_fingerprint=changed.fingerprint())
+        project = Project.load([tmp_path / "src"], repo_root=tmp_path,
+                               defer_parse_for=cache.cached_hashes())
+        run = run_analysis(project, changed, cache=cache)
+        # No entry written under the old fingerprint is served: every
+        # unique content blob misses again, exactly like a cold run.
+        assert run.cache_stats["misses"] == cold.cache_stats["misses"]
+
+
+# ----------------------------------------------------------------------
+# --fix
+# ----------------------------------------------------------------------
+class TestFixMode:
+    RACE_TREE = {
+        "serving/jobs.py": """
+            from concurrent.futures import ThreadPoolExecutor
+
+            RESULTS = {}
+
+            def worker(item):
+                RESULTS[item] = item * 2
+
+            def fan_out(items):
+                with ThreadPoolExecutor() as pool:
+                    for item in items:
+                        pool.submit(worker, item)
+        """,
+    }
+
+    def test_dry_run_prints_diff_and_writes_nothing(self, tmp_path):
+        write_tree(tmp_path, self.RACE_TREE)
+        target = tmp_path / "src" / "repro" / "serving" / "jobs.py"
+        before = target.read_text()
+        result = run_cli(["src", "--no-baseline", "--fix", "--dry-run"],
+                         cwd=tmp_path)
+        assert result.returncode == 0
+        assert "--- a/" in result.stdout and "+++ b/" in result.stdout
+        assert "allow[race-discipline]" in result.stdout
+        assert "would fix 1 finding(s)" in result.stdout
+        assert target.read_text() == before
+
+    def test_fix_inserts_pragma_and_is_idempotent(self, tmp_path):
+        write_tree(tmp_path, self.RACE_TREE)
+        gate = run_cli(["src", "--no-baseline", "--no-cache"], cwd=tmp_path)
+        assert gate.returncode == 1
+        fixed = run_cli(["src", "--no-baseline", "--fix"], cwd=tmp_path)
+        assert fixed.returncode == 0
+        target = tmp_path / "src" / "repro" / "serving" / "jobs.py"
+        assert "# repro: allow[race-discipline] -- TODO" in target.read_text()
+        regate = run_cli(["src", "--no-baseline", "--no-cache"], cwd=tmp_path)
+        assert regate.returncode == 0
+        again = run_cli(["src", "--no-baseline", "--fix"], cwd=tmp_path)
+        assert "fixed 0 finding(s)" in again.stdout
+        assert "# repro: allow[race-discipline] -- TODO" in target.read_text()
+
+    def test_fix_rewrites_schema_literal_to_constant(self, tmp_path):
+        write_tree(tmp_path, {
+            "obs/export.py": """
+                def dump():
+                    return {"schema": "repro.obs.metrics/v1", "rows": []}
+            """,
+        })
+        result = run_cli(["src", "--no-baseline", "--fix"], cwd=tmp_path)
+        assert result.returncode == 0
+        text = (tmp_path / "src" / "repro" / "obs" / "export.py").read_text()
+        assert '"repro.obs.metrics/v1"' not in text
+        assert "schemas.OBS_METRICS" in text
+        assert "from repro import schemas" in text
+        regate = run_cli(["src", "--no-baseline", "--no-cache"], cwd=tmp_path)
+        assert regate.returncode == 0
+
+    def test_fix_removes_dead_shim_parameter(self, tmp_path):
+        # shim-drift's "accepts X but never forwards it" finding: the shim
+        # takes keep_images but drops it on the floor.
+        write_tree(tmp_path, {
+            "experiments/harness.py": """
+                from .runner import run_experiment
+
+                def run_quantization_table(model_name, config_labels=None,
+                                           keep_images=False, store=None):
+                    return run_experiment(model_name, config_labels,
+                                          store=store)
+
+                def run_config_experiment(model_name, config_labels=None,
+                                          store=None):
+                    return run_experiment(model_name, config_labels,
+                                          store=store)
+
+                def run_experiment_spec(model_name, config_labels=None,
+                                        store=None):
+                    return run_experiment(model_name, config_labels,
+                                          store=store)
+            """,
+            "experiments/runner.py": """
+                def run_experiment(model_name, config_labels=None,
+                                   store=None):
+                    return (model_name, config_labels, store)
+            """,
+        })
+        gate = run_cli(["src", "--no-baseline", "--rules", "shim-drift"],
+                       cwd=tmp_path)
+        assert gate.returncode == 1
+        assert "never forwards it" in gate.stdout
+        result = run_cli(["src", "--no-baseline", "--rules", "shim-drift",
+                          "--fix"], cwd=tmp_path)
+        assert result.returncode == 0
+        text = (tmp_path / "src" / "repro" / "experiments"
+                / "harness.py").read_text()
+        assert "keep_images" not in text.split("def run_quantization_table")[1] \
+            .split(")")[0]
+        regate = run_cli(["src", "--no-baseline", "--rules", "shim-drift"],
+                         cwd=tmp_path)
+        assert regate.returncode == 0
