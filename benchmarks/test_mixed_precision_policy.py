@@ -13,7 +13,7 @@ from __future__ import annotations
 from conftest import BENCH_SETTINGS, write_result
 
 from repro.core import QuantizationReport, mixed_precision_config
-from repro.experiments import run_config_experiment
+from repro.experiments import ExperimentSpec, RowSpec, run_experiment
 from repro.experiments.harness import load_benchmark_pipeline
 
 MODEL = "ddim-cifar10"
@@ -23,7 +23,14 @@ def test_mixed_precision_boundary_policy():
     pipeline = load_benchmark_pipeline(MODEL, BENCH_SETTINGS)
     config = mixed_precision_config(pipeline.model, boundary="fp8",
                                     interior="fp4")
-    row = run_config_experiment(MODEL, config, settings=BENCH_SETTINGS)
+    spec = ExperimentSpec(
+        model=MODEL,
+        rows=[RowSpec(config=config)],
+        settings=BENCH_SETTINGS,
+        references=("full-precision generated",),
+        with_clip=False,
+        name=f"config/{MODEL}")
+    row = run_experiment(spec).table.rows[0]
 
     report = row.report
     histogram = report.scheme_histogram()

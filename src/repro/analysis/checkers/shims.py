@@ -1,9 +1,9 @@
 """Rule ``shim-drift``: legacy entry points must keep up with their
 replacements.
 
-The repo keeps backwards-compatible shims alive (``run_quantization_table``
-over ``run_experiment``, the ``use_ddpm`` spellings over
-:class:`~repro.diffusion.plan.GenerationPlan`).  The failure mode is
+The repo keeps backwards-compatible shims alive (the ``use_ddpm``
+spellings over :class:`~repro.diffusion.plan.GenerationPlan`, the
+pre-cluster serving batch path).  The failure mode is
 well-known: the replacement grows a keyword (``tracer=``, ``use_cache=``),
 the shim never learns it, and every legacy caller silently loses the
 feature — or worse, passes it and gets a ``TypeError`` two layers deep.

@@ -28,7 +28,7 @@ def _matches(pkg_path: str, globs: Sequence[str]) -> bool:
 class ShimPair:
     """A legacy entry point and the replacement whose keywords it must carry."""
 
-    shim: str         # dotted path inside repro, e.g. "experiments.harness.run_quantization_table"
+    shim: str         # dotted path inside repro, e.g. "...DiffusionPipeline.generate"
     replacement: str  # dotted path of the replacement callable
     #: Replacement parameters the shim legitimately does not expose
     #: (derived internally, or meaningless for the legacy call shape).
@@ -83,6 +83,12 @@ class AnalysisConfig:
         "experiments/store.py",
         "core/atomic.py",
         "zoo/*.py",
+        # The compute-backend layer owns process-wide kernel state (the
+        # registry, the compiled-kernel cache on disk); stage code reaches
+        # it through every Tensor op, and its outputs are a pure function
+        # of the dispatched operands.
+        "tensor/backend.py",
+        "tensor/_ckernels.py",
     )
 
     # -- thread-context lattice / race discipline ----------------------
@@ -101,6 +107,22 @@ class AnalysisConfig:
     #: by default — the marker itself is the opt-in.
     hot_modules: Tuple[str, ...] = ("*.py",)
 
+    # -- gemm dispatch -------------------------------------------------
+    #: Modules whose matrix products must go through the compute-backend
+    #: dispatch (``active_backend().gemm`` and friends) rather than raw
+    #: numpy so MAC accounting and accelerated kernels see every GEMM.
+    gemm_dispatch_modules: Tuple[str, ...] = (
+        "tensor/*.py",
+        "nn/*.py",
+        "core/qmodules.py",
+    )
+    #: The backend layer itself: the one place raw numpy GEMMs are the
+    #: implementation rather than a bypass.
+    gemm_backend_modules: Tuple[str, ...] = (
+        "tensor/backend.py",
+        "tensor/_ckernels.py",
+    )
+
     # -- schema discipline ---------------------------------------------
     #: The one module allowed to spell out ``family/vN`` schema tags.
     schema_registry_module: str = "repro.schemas"
@@ -118,14 +140,9 @@ class AnalysisConfig:
 
     # -- shim drift ----------------------------------------------------
     shim_pairs: Tuple[ShimPair, ...] = (
-        ShimPair("experiments.harness.run_quantization_table",
-                 "experiments.runner.run_experiment", exempt=("spec",)),
-        ShimPair("experiments.harness.run_config_experiment",
-                 "experiments.runner.run_experiment", exempt=("spec",)),
-        ShimPair("experiments.harness.run_experiment_spec",
-                 "experiments.runner.run_experiment", exempt=("spec",)),
         # The legacy use_ddpm spellings must keep accepting everything the
-        # plan-based core path takes.
+        # plan-based core path takes.  (The experiments.harness table shims
+        # were retired in PR 10 — callers build ExperimentSpec directly.)
         ShimPair("diffusion.pipeline.DiffusionPipeline.generate",
                  "diffusion.pipeline.DiffusionPipeline._run",
                  exempt=("context_batches",)),
@@ -158,6 +175,8 @@ class AnalysisConfig:
             "purity_boundaries": list(self.purity_boundaries),
             "worker_entries": list(self.worker_entries),
             "hot_modules": list(self.hot_modules),
+            "gemm_dispatch_modules": list(self.gemm_dispatch_modules),
+            "gemm_backend_modules": list(self.gemm_backend_modules),
             "schema_registry_module": self.schema_registry_module,
             "schema_exempt_tags": list(self.schema_exempt_tags),
             "fingerprint_modules": list(self.fingerprint_modules),
@@ -175,7 +194,9 @@ class AnalysisConfig:
         kwargs = {}
         for key in ("virtual_time_modules", "clock_boundaries",
                     "stage_pure_roots", "purity_boundaries",
-                    "worker_entries", "hot_modules", "schema_exempt_tags",
+                    "worker_entries", "hot_modules",
+                    "gemm_dispatch_modules", "gemm_backend_modules",
+                    "schema_exempt_tags",
                     "fingerprint_modules", "tracer_modules"):
             if key in data:
                 kwargs[key] = tuple(data[key])

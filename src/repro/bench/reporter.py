@@ -26,6 +26,7 @@ import numpy as np
 
 from .. import schemas
 from ..core.hashing import content_hash
+from ..tensor import backend_info
 from .compare import CALIBRATION_WORKLOAD, compare_reports
 from .registry import FAST_ARM, PRE_ARM, Workload, workloads_for_suite
 from .timer import BenchTimer, Measurement
@@ -34,13 +35,19 @@ SCHEMA_VERSION = 1
 
 
 def environment_fingerprint() -> Dict:
-    """What hardware/software produced this report (content-hashed)."""
+    """What hardware/software produced this report (content-hashed).
+
+    Includes the active compute backend (and whether its native kernels
+    compiled), so a report timed on the reference backend can never be
+    compared against an accelerated baseline without the mismatch showing.
+    """
     info = {
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "backend": backend_info(),
     }
     info["fingerprint"] = content_hash(info)
     return info
@@ -183,6 +190,9 @@ def _speedups(results: List[Tuple[Workload, Measurement]]) -> Dict:
             "fast_s": fast.median_s,
             "speedup": pre.median_s / fast.median_s if fast.median_s > 0 else 0.0,
         }
+        macs = fast.metadata.get("macs")
+        if macs is not None:
+            speedups[pair]["macs"] = macs
     return speedups
 
 
@@ -259,10 +269,13 @@ def markdown_summary(report: Dict) -> str:
     speedups = report.get("speedups", {})
     if speedups:
         lines += ["", "### Optimization deltas (pre vs fast path)", "",
-                  "| pair | pre | fast | speedup |", "|---|---|---|---|"]
+                  "| pair | pre | fast | speedup | MACs |",
+                  "|---|---|---|---|---|"]
         for pair in sorted(speedups):
             entry = speedups[pair]
+            macs = entry.get("macs")
+            macs_text = f"{macs / 1e6:.1f}M" if macs is not None else "-"
             lines.append(f"| {pair} | {_format_seconds(entry['pre_s'])} "
                          f"| {_format_seconds(entry['fast_s'])} "
-                         f"| {entry['speedup']:.2f}x |")
+                         f"| {entry['speedup']:.2f}x | {macs_text} |")
     return "\n".join(lines) + "\n"

@@ -17,13 +17,14 @@ differ.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from .. import nn
 from ..tensor import Tensor, concatenate
 from ..tensor import functional as F
+from ..tensor.backend import PackedLevelsView
 from .formats import FPFormat
 from .fp import calibrate_block_biases, quantize_fp, quantize_fp_blockwise
 from .integer import (
@@ -60,6 +61,31 @@ def _unpack_levels(packed: np.ndarray, bitwidth: int, size: int) -> np.ndarray:
     return levels[:size]
 
 
+@runtime_checkable
+class QuantizedStorage(Protocol):
+    """The storage contract quantized layers and fused kernels consume.
+
+    Everything a layer wrapper (or the fused dequant-GEMM entry points in
+    :mod:`repro.tensor.functional`) may do with a quantized weight goes
+    through these three methods — layer code never reaches into storage
+    internals such as the dequantization memo:
+
+    * :meth:`dequantize` — the memoized float32 simulation, for the
+      reference (dequantize-then-GEMM) path;
+    * :meth:`drop_dequantized` — release the float memo when memory
+      matters more than the next forward's latency;
+    * :meth:`packed_view` — a GEMM-ready
+      :class:`~repro.tensor.backend.PackedLevelsView` of the packed
+      bytes, or ``None`` when the storage cannot present one.
+    """
+
+    def dequantize(self) -> np.ndarray: ...
+
+    def drop_dequantized(self) -> None: ...
+
+    def packed_view(self) -> Optional[PackedLevelsView]: ...
+
+
 class PackedIntWeight:
     """Integer weight levels in packed byte storage + a memoized float form.
 
@@ -83,6 +109,7 @@ class PackedIntWeight:
         self.shape = tuple(shape)
         self.fmt = fmt  # IntFormat or PerChannelIntFormat
         self._dequantized: Optional[np.ndarray] = None
+        self._packed_view: Optional[PackedLevelsView] = None
 
     # ------------------------------------------------------------------
     @property
@@ -136,9 +163,53 @@ class PackedIntWeight:
         """Release the float memo (it is rebuilt on the next dequantize)."""
         self._dequantized = None
 
+    def packed_view(self) -> Optional[PackedLevelsView]:
+        """GEMM-ready row view of the packed levels, or ``None``.
+
+        Presents the weight as the ``(N, K)`` matrix a GEMM consumes
+        (``N`` output channels, ``K = in_features`` or
+        ``C_in * kh * kw``), with per-row scale/zero-point arrays —
+        per-tensor formats broadcast their single grid to every row.
+        Nibble-packed storages (bitwidth <= 4) can only be row-aligned
+        when ``K`` is even; otherwise, and for degenerate shapes, this
+        returns ``None`` and callers stay on the dequantized path.  The
+        reshape is a view of the packed bytes (no copy); the result is
+        memoized and, like the float memo, not pickled.
+        """
+        view = getattr(self, "_packed_view", None)
+        if view is not None:
+            return view
+        if len(self.shape) < 2:
+            return None
+        n_rows = self.shape[0]
+        k = self.num_elements // n_rows
+        if n_rows * k != self.num_elements or k == 0:
+            return None
+        if self.fmt.bitwidth <= 4:
+            if k % 2:
+                return None
+            packed2d = self.packed.reshape(n_rows, k // 2)
+        else:
+            packed2d = self.packed.reshape(n_rows, k)
+        if isinstance(self.fmt, PerChannelIntFormat):
+            if self.fmt.num_channels != n_rows:
+                return None
+            scales = np.asarray(self.fmt.scales, dtype=np.float64)
+            zero_points = np.asarray(self.fmt.zero_points, dtype=np.float64)
+        else:
+            scales = np.full(n_rows, self.fmt.scale, dtype=np.float64)
+            zero_points = np.full(n_rows, float(self.fmt.zero_point),
+                                  dtype=np.float64)
+        view = PackedLevelsView(packed=packed2d, bitwidth=self.fmt.bitwidth,
+                                shape=(n_rows, k), scales=scales,
+                                zero_points=zero_points)
+        self._packed_view = view
+        return view
+
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_dequantized"] = None  # ship packed bytes, not the float memo
+        state["_packed_view"] = None  # rebuilt on demand after unpickling
         return state
 
 
@@ -359,6 +430,16 @@ class QuantizedConv2d(_QuantizedLayerBase):
 
     def forward(self, x: Tensor) -> Tensor:
         quantized_input = Tensor(self.activation_quantizer.quantize(x.data))
+        if self.packed_weight is not None:
+            # Inference mode with an eligible backend runs the convolution
+            # straight off the packed bytes; otherwise fall back to the
+            # dequantized float path below.
+            fused = F.fused_conv2d(quantized_input, self.packed_weight,
+                                   self.bias, stride=self.stride,
+                                   padding=self.padding,
+                                   kernel_size=self.kernel_size)
+            if fused is not None:
+                return fused
         return F.conv2d(quantized_input, self.weight, self.bias,
                         stride=self.stride, padding=self.padding)
 
@@ -381,6 +462,11 @@ class QuantizedLinear(_QuantizedLayerBase):
 
     def forward(self, x: Tensor) -> Tensor:
         quantized_input = Tensor(self.activation_quantizer.quantize(x.data))
+        if self.packed_weight is not None:
+            fused = F.fused_linear(quantized_input, self.packed_weight,
+                                   self.bias)
+            if fused is not None:
+                return fused
         return F.linear(quantized_input, self.weight, self.bias)
 
 

@@ -17,20 +17,21 @@ parallel**:
 * :class:`Runner` — executes independent stages in parallel and emits a
   :class:`RunManifest` (per-stage timings, cache hits, artifact paths).
 
-The classic one-shot functions (:func:`run_quantization_table`,
-:func:`run_config_experiment`) survive as thin shims over the new API.
+:func:`run_experiment` is the single entry point; with ``store=None`` it
+executes against the shared process-wide :func:`default_run_store`, so
+separate calls and entry points reuse each other's artifacts.
 """
 
 from .graph import Stage, StageGraph
-from .harness import (
+from .harness import load_benchmark_pipeline, run_sparsity_experiment
+from .runner import (
+    ExperimentRun,
+    RunManifest,
+    Runner,
+    StageRecord,
     default_run_store,
-    load_benchmark_pipeline,
-    run_config_experiment,
-    run_experiment_spec,
-    run_quantization_table,
-    run_sparsity_experiment,
+    run_experiment,
 )
-from .runner import ExperimentRun, RunManifest, Runner, StageRecord, run_experiment
 from .spec import (
     DEFAULT_BENCH_SETTINGS,
     PAPER_ROW_ORDER,
@@ -66,9 +67,6 @@ __all__ = [
     "compile_experiment",
     "default_run_store",
     "load_benchmark_pipeline",
-    "run_config_experiment",
     "run_experiment",
-    "run_experiment_spec",
-    "run_quantization_table",
     "run_sparsity_experiment",
 ]

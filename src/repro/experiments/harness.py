@@ -1,68 +1,36 @@
-"""Classic experiment harness, now a thin shim over the declarative run API.
+"""Benchmark-harness helpers that sit above the declarative run API.
 
-The original one-shot functions (:func:`run_quantization_table`,
-:func:`run_config_experiment`) kept their signatures, but each call now
-compiles an :class:`~repro.experiments.spec.ExperimentSpec`, executes it
-through the :class:`~repro.experiments.runner.Runner` against the shared
-content-addressed :class:`~repro.experiments.store.RunStore`, and converts
-the result back.  Consequences for callers:
+The classic one-shot shims (``run_quantization_table``,
+``run_config_experiment``, ``run_experiment_spec``) are gone: every
+caller now builds an :class:`~repro.experiments.spec.ExperimentSpec` —
+``ExperimentSpec.from_labels`` for paper-table rows, explicit
+:class:`~repro.experiments.spec.RowSpec` objects for custom configs —
+and executes it with :func:`repro.experiments.runner.run_experiment`,
+which defaults to the shared process-wide store
+(:func:`repro.experiments.runner.default_run_store`).  The consequences
+the shims existed to provide are now properties of the core path:
 
-* calibration data is collected once per model and shared across all rows,
-* the FP32 reference generation is computed once per (model, seed, steps) —
-  even across *separate* calls and processes — instead of per call site,
-* repeating a call with identical settings is almost entirely cache hits,
-* the returned :class:`TableResult` carries the run manifest
-  (``table.manifest``) with per-stage timings and cache hit/miss records.
+* calibration data is collected once per model and shared across rows,
+* the FP32 reference generation is computed once per (model, seed,
+  steps) — even across separate calls and processes,
+* repeating a run with identical settings is almost entirely cache hits,
+* every result carries the run manifest (``table.manifest``).
 
-The experimental protocol itself is unchanged (Section VI-A/C): every
-configuration denoises the same starting noise; unconditional models score
-against the dataset stand-in, text-to-image models against both the
-external reference and the full-precision model's own generations; sizes
-are scaled down per EXPERIMENTS.md.
+What remains here are the pieces with no declarative equivalent: loading
+a bench-scaled pipeline outside any stage graph, and the weight-sparsity
+experiment (Figure 11), which quantizes weights without calibration or
+generation and therefore never touches the store.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional, Sequence
+from typing import Dict
 
-from ..core import PAPER_CONFIGS, QuantizationConfig, measure_weight_sparsity, quantize_pipeline
+from ..core import QuantizationConfig, measure_weight_sparsity, quantize_pipeline
 from ..diffusion import DiffusionPipeline
 from ..zoo import load_pretrained
-from .runner import ExperimentRun, run_experiment
-from .spec import (
-    DEFAULT_BENCH_SETTINGS,
-    PAPER_ROW_ORDER,
-    BenchSettings,
-    ExperimentRow,
-    ExperimentSpec,
-    RowSpec,
-    TableResult,
-)
+from .spec import DEFAULT_BENCH_SETTINGS, BenchSettings
 from .stages import _dataset_reference  # noqa: F401  (re-exported for tests)
-from .store import RunStore
-
-#: Lazily-created store shared by every harness-level call in the process.
-#: Lock-guarded: table runners fan rows out to a thread pool, and two
-#: threads racing the first call must not each build (and write through)
-#: their own store.
-_DEFAULT_STORES: dict = {}
-_DEFAULT_STORE_LOCK = threading.Lock()
-
-
-def default_run_store() -> RunStore:
-    """The process-wide artifact store used by the shim entry points."""
-    with _DEFAULT_STORE_LOCK:
-        store = _DEFAULT_STORES.get("default")
-        if store is None:
-            store = RunStore()
-            _DEFAULT_STORES["default"] = store
-    return store
-
-
-def _resolve_store(store):
-    """``None`` -> the shared default store; ``False`` -> no store at all."""
-    return default_run_store() if store is None else store
 
 
 def load_benchmark_pipeline(model_name: str,
@@ -71,80 +39,6 @@ def load_benchmark_pipeline(model_name: str,
     """Load the cached pre-trained model and wrap it in a bench pipeline."""
     model = load_pretrained(model_name, settings.pretrain)
     return DiffusionPipeline(model, num_steps=settings.num_steps)
-
-
-def run_quantization_table(model_name: str,
-                           config_labels: Sequence[str] = PAPER_ROW_ORDER,
-                           settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
-                           keep_images: bool = False,
-                           store: Optional[RunStore] = None,
-                           max_workers: int = 1,
-                           use_cache: bool = True,
-                           zoo_cache_dir=None,
-                           tracer=None) -> TableResult:
-    """Reproduce one quantitative table (Tables II-V of the paper).
-
-    Shim over the declarative API: equivalent to running
-    ``ExperimentSpec.from_labels(model_name, config_labels, settings)``.
-    Returns metric rows for every requested configuration against the
-    external dataset reference and against the full-precision model's own
-    generations; ``.manifest`` on the result records the stage graph run.
-    """
-    unknown = [label for label in config_labels if label not in PAPER_CONFIGS]
-    if unknown:
-        raise ValueError(
-            f"unknown config labels {unknown}; "
-            f"known labels: {sorted(PAPER_CONFIGS)}")
-    spec = ExperimentSpec.from_labels(model_name, config_labels, settings,
-                                      keep_images=keep_images,
-                                      name=f"table/{model_name}")
-    run = run_experiment(spec, store=_resolve_store(store),
-                         max_workers=max_workers, use_cache=use_cache,
-                         zoo_cache_dir=zoo_cache_dir, tracer=tracer)
-    return run.table
-
-
-def run_config_experiment(model_name: str, config: QuantizationConfig,
-                          settings: BenchSettings = DEFAULT_BENCH_SETTINGS,
-                          store: Optional[RunStore] = None,
-                          max_workers: int = 1,
-                          use_cache: bool = True,
-                          zoo_cache_dir=None,
-                          tracer=None) -> ExperimentRow:
-    """Run one arbitrary :class:`QuantizationConfig` (e.g. a policy-driven
-    mixed-precision experiment) against the full-precision baseline.
-
-    Unlike :func:`run_quantization_table` this takes a ready-made config
-    instead of a ``PAPER_CONFIGS`` label, so custom schemes and per-layer
-    policies plug straight in.  Metrics are reported against the
-    full-precision model's own generations (the paper's proposed
-    reference).  Because the run goes through the shared artifact store,
-    the pretrain / calibration / FP-generation stages are reused from (and
-    by) any table run with matching settings.
-    """
-    spec = ExperimentSpec(
-        model=model_name,
-        rows=[RowSpec(config=config)],
-        settings=settings,
-        references=("full-precision generated",),
-        with_clip=False,
-        name=f"config/{model_name}")
-    run = run_experiment(spec, store=_resolve_store(store),
-                         max_workers=max_workers, use_cache=use_cache,
-                         zoo_cache_dir=zoo_cache_dir, tracer=tracer)
-    return run.table.rows[0]
-
-
-def run_experiment_spec(spec: ExperimentSpec,
-                        store: Optional[RunStore] = None,
-                        max_workers: int = 1,
-                        use_cache: bool = True,
-                        zoo_cache_dir=None,
-                        tracer=None) -> ExperimentRun:
-    """Run a declarative spec against the shared harness store."""
-    return run_experiment(spec, store=_resolve_store(store),
-                          max_workers=max_workers, use_cache=use_cache,
-                          zoo_cache_dir=zoo_cache_dir, tracer=tracer)
 
 
 def run_sparsity_experiment(model_name: str,

@@ -18,6 +18,7 @@ pretrain stage per model", "second run is >= 90% cache hits").
 from __future__ import annotations
 
 import json
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -28,6 +29,23 @@ from .graph import Stage, StageGraph
 from .spec import ExperimentSpec, TableResult
 from .stages import ExperimentEnv, compile_experiment
 from .store import RunStore
+
+#: Lazily-created store shared by every ``store=None`` call in the process.
+#: Lock-guarded: callers fan work out to thread pools, and two threads
+#: racing the first call must not each build (and write through) their own
+#: store.
+_DEFAULT_STORES: dict = {}
+_DEFAULT_STORE_LOCK = threading.Lock()
+
+
+def default_run_store() -> RunStore:
+    """The process-wide artifact store ``run_experiment`` defaults to."""
+    with _DEFAULT_STORE_LOCK:
+        store = _DEFAULT_STORES.get("default")
+        if store is None:
+            store = RunStore()
+            _DEFAULT_STORES["default"] = store
+    return store
 
 
 @dataclass
@@ -330,13 +348,15 @@ def run_experiment(spec: ExperimentSpec, store: Optional[RunStore] = None,
                    max_workers: int = 1, use_cache: bool = True,
                    zoo_cache_dir: Optional[Path] = None,
                    tracer=None) -> ExperimentRun:
-    """One-call entry point: run ``spec`` against ``store`` (default store).
+    """One-call entry point: run ``spec`` against ``store``.
 
-    Pass ``store=False`` to run without any artifact store; ``tracer``
-    records one span per stage.
+    ``store=None`` uses the process-wide :func:`default_run_store`, so
+    separate calls (and entry points) share pretrain/calibration/reference
+    artifacts.  Pass ``store=False`` to run without any artifact store;
+    ``tracer`` records one span per stage.
     """
     if store is None:
-        store = RunStore()
+        store = default_run_store()
     elif store is False:
         store = None
     runner = Runner(store=store, max_workers=max_workers, use_cache=use_cache,

@@ -216,7 +216,17 @@ class ExperimentSpec:
     def from_labels(cls, model: str, labels: Sequence[str],
                     settings: Optional[BenchSettings] = None,
                     **kwargs) -> "ExperimentSpec":
-        """Build a spec from ``PAPER_CONFIGS`` labels (the table harness path)."""
+        """Build a spec from ``PAPER_CONFIGS`` labels (the table-style path).
+
+        Unknown labels are reported together, up front, so a caller
+        assembling a whole table sees every bad label in one error rather
+        than the first ``RowSpec`` rejection.
+        """
+        unknown = [label for label in labels if label not in PAPER_CONFIGS]
+        if unknown:
+            raise ValueError(
+                f"unknown config labels {unknown}; "
+                f"known labels: {sorted(PAPER_CONFIGS)}")
         return cls(model=model,
                    rows=[RowSpec(preset=label) for label in labels],
                    settings=settings or BenchSettings(), **kwargs)

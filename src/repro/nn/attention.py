@@ -4,6 +4,11 @@ The paper's Stable Diffusion characterization (Section III) identifies the
 attention key/query/value linear layers and the attention score tensor as the
 dominant memory consumers; these classes are the concrete layers the
 quantizer wraps and the profiling cost model walks.
+
+All GEMMs here reach numpy through the compute-backend dispatch: the
+projections go via :class:`~repro.nn.layers.Linear` and the score/value
+products via :func:`repro.tensor.functional.scaled_dot_product_attention`,
+so no attention code multiplies matrices directly.
 """
 
 from __future__ import annotations

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..tensor import Tensor
 from ..tensor import functional as F
+from ..tensor.backend import active_backend
 from ..tensor.tensor import _no_graph
 from . import init
 from .module import Module, Parameter
@@ -100,18 +101,12 @@ class GroupNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         n, c, h, w = x.shape
         if _no_graph(x, self.weight, self.bias):
-            # Graph-free fast path: same operations in the same order and
-            # dtypes as the autograd spelling below, minus the per-op
-            # Tensor wrapping — bit-identical outputs.
-            grouped = x.data.reshape(n, self.num_groups, c // self.num_groups * h * w)
-            inv_count = np.float32(1.0 / grouped.shape[2])
-            mean = grouped.sum(axis=2, keepdims=True) * inv_count
-            centered = grouped - mean
-            var = (centered * centered).sum(axis=2, keepdims=True) * inv_count
-            normed = centered / np.sqrt(var + np.float32(self.eps))
-            normed = normed.reshape(n, c, h, w)
-            out = (normed * self.weight.data.reshape(1, c, 1, 1)
-                   + self.bias.data.reshape(1, c, 1, 1))
+            # Graph-free fast path: the backend kernel mirrors the autograd
+            # spelling below operation for operation (the reference backend
+            # is bit-identical to it).
+            out = active_backend().group_norm(
+                x.data, self.num_groups, self.weight.data, self.bias.data,
+                self.eps)
             return Tensor._from_data(out)
         grouped = x.reshape(n, self.num_groups, c // self.num_groups * h * w)
         mean = grouped.mean(axis=2, keepdims=True)
@@ -135,13 +130,10 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         if _no_graph(x, self.weight, self.bias):
-            # Mirrors the autograd spelling below, bit-identically.
-            inv_count = np.float32(1.0 / x.shape[-1])
-            mean = x.data.sum(axis=-1, keepdims=True) * inv_count
-            centered = x.data - mean
-            var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
-            normed = centered / np.sqrt(var + np.float32(self.eps))
-            return Tensor._from_data(normed * self.weight.data + self.bias.data)
+            # Backend kernel; the reference spelling mirrors the autograd
+            # path below bit-identically.
+            return Tensor._from_data(active_backend().layer_norm(
+                x.data, self.weight.data, self.bias.data, self.eps))
         mean = x.mean(axis=-1, keepdims=True)
         var = x.var(axis=-1, keepdims=True)
         normed = (x - mean) / (var + self.eps).sqrt()

@@ -1,5 +1,14 @@
 """numpy-backed tensor and autograd engine used throughout the reproduction."""
 
+from .backend import (
+    active_backend,
+    backend_info,
+    count_macs,
+    get_backend,
+    list_backends,
+    set_backend,
+    use_backend,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -22,4 +31,11 @@ __all__ = [
     "is_grad_enabled",
     "is_inference_mode",
     "functional",
+    "active_backend",
+    "backend_info",
+    "count_macs",
+    "get_backend",
+    "list_backends",
+    "set_backend",
+    "use_backend",
 ]

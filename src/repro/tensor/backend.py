@@ -1,0 +1,477 @@
+"""Pluggable compute backends behind the tensor engine's heavy kernels.
+
+Every GEMM-shaped operation in the reproduction — matmul, im2col
+convolution, attention score/value products — and the graph-free norm /
+activation fast paths dispatch through the :class:`ComputeBackend`
+contract defined here instead of calling numpy directly.  Two backends
+ship:
+
+``reference`` (default)
+    The exact numpy spellings the engine has always used, in the same
+    operation order and dtypes.  Outputs are **bit-identical** to the
+    pre-backend code by construction; this is the backend every autograd
+    (gradient-tracking) path uses unconditionally.
+
+``accelerated`` (opt-in)
+    Inherits the reference arithmetic for float GEMMs — numpy's BLAS
+    (OpenBLAS) is already a blocked, cache-tiled GEMM, which no pure-
+    Python tiling can beat — and adds **fused dequantize-GEMM** kernels
+    that consume :class:`PackedLevelsView` integer weights directly, so
+    int8 costs 1/4 and int4 1/8 of the float weight's memory traffic.
+    Engages only in inference mode, for GEMV-shaped products (``M <= 8``
+    output rows) on weights large enough to be memory-bound; everything
+    else falls back to the reference path.  Fused outputs accumulate in
+    float32 (fast-math) instead of BLAS order and are therefore
+    **tolerance-bounded**, not bit-identical — see the per-kernel notes
+    in ``EXPERIMENTS.md``.
+
+Selection: :func:`set_backend` switches the process default (used by
+every thread that has no override), :func:`use_backend` is a scoped
+thread-local override, and the ``REPRO_BACKEND`` environment variable
+picks the default at import time.  The active default and the fused
+kernel tier are reported by :func:`backend_info`, which the bench
+environment fingerprint includes.
+
+MACs accounting: :func:`count_macs` is a context manager that counts the
+multiply-accumulate operations of every dispatched GEMM on the current
+thread (one MAC per output element per reduction step), which the bench
+suite reports alongside wall-clock so speedups can be read against a
+constant work metric.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import _ckernels
+
+# ----------------------------------------------------------------------
+# MACs accounting
+# ----------------------------------------------------------------------
+_MACS = threading.local()
+
+
+class MacCounter:
+    """Accumulates multiply-accumulate counts of dispatched GEMMs."""
+
+    __slots__ = ("macs",)
+
+    def __init__(self):
+        self.macs = 0
+
+
+@contextlib.contextmanager
+def count_macs():
+    """Count GEMM MACs on this thread inside the block.
+
+    Yields a :class:`MacCounter` whose ``macs`` attribute accumulates one
+    multiply-accumulate per output element per reduction step of every
+    backend-dispatched GEMM (plain, batched, im2col and fused).  Counters
+    nest; each active counter sees the full count of its block.
+    """
+    counter = MacCounter()
+    stack = getattr(_MACS, "stack", None)
+    if stack is None:
+        stack = []
+        _MACS.stack = stack
+    stack.append(counter)
+    try:
+        yield counter
+    finally:
+        stack.pop()
+
+
+def _add_macs(count: int) -> None:
+    stack = getattr(_MACS, "stack", None)
+    if stack:
+        for counter in stack:
+            counter.macs += count
+
+
+# ----------------------------------------------------------------------
+# packed weight view
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PackedLevelsView:
+    """Row-aligned view of packed integer weight levels for fused GEMM.
+
+    A GEMM-ready presentation of a quantized weight: the ``(N, K)``
+    logical matrix whose rows are output channels, with per-row affine
+    parameters (per-tensor formats broadcast one scale/zero-point to all
+    rows).  ``packed`` is ``(N, K)`` uint8 for byte-packed levels
+    (bitwidth 5–8) or ``(N, K // 2)`` for nibble-packed levels
+    (bitwidth <= 4, two interleaved levels per byte) — nibble packing is
+    only row-alignable when ``K`` is even, so storages with odd reduction
+    depth expose no view at all.
+
+    Deliberately plain (numpy fields only): defined here so the tensor
+    layer never imports :mod:`repro.core`, while ``PackedIntWeight``
+    up in the core package constructs it.
+    """
+
+    packed: np.ndarray
+    bitwidth: int
+    shape: Tuple[int, int]
+    scales: np.ndarray       # (N,) float64
+    zero_points: np.ndarray  # (N,) float64
+
+
+# ----------------------------------------------------------------------
+# backend contract
+# ----------------------------------------------------------------------
+class ComputeBackend:
+    """Kernel contract every compute backend implements.
+
+    The reference implementations below are the single source of the
+    engine's numerics; subclasses override individual kernels and must
+    document their tolerance against the reference spelling.
+    """
+
+    name = "reference"
+
+    # -- GEMM family ---------------------------------------------------
+    # repro: hot -- every 2-D matmul on inference and autograd paths
+    def gemm(self, a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray] = None,
+             transpose_a: bool = False, transpose_b: bool = False) -> np.ndarray:
+        """2-D product ``op(a) @ op(b)``, optionally into ``out``."""
+        lhs = a.T if transpose_a else a
+        rhs = b.T if transpose_b else b
+        result = np.matmul(lhs, rhs, out=out)
+        _add_macs(result.size * lhs.shape[-1])
+        return result
+
+    # repro: hot -- Tensor.matmul forwards every attention product here
+    def batched_gemm(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Broadcasting batched matmul, numpy ``a @ b`` semantics."""
+        result = a @ b
+        _add_macs(result.size * a.shape[-1])
+        return result
+
+    # repro: hot -- the convolution matmul of every U-Net forward
+    def im2col_conv(self, cols: np.ndarray, w_mat: np.ndarray,
+                    bias: Optional[np.ndarray] = None,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Patch-matrix convolution product ``cols @ w_mat.T (+ bias)``.
+
+        ``cols`` is the ``(N, L, K)`` im2col matrix, ``w_mat`` the
+        ``(C_out, K)`` flattened weight; returns ``(N, L, C_out)``.  When
+        ``out`` is given the product and bias add run in place (the
+        caller owns the workspace).
+        """
+        if out is None:
+            result = cols @ w_mat.T
+            if bias is not None:
+                result = result + bias.reshape(1, 1, -1)
+        else:
+            result = np.matmul(cols, w_mat.T, out=out)
+            if bias is not None:
+                np.add(result, bias.reshape(1, 1, -1), out=result)
+        _add_macs(result.size * cols.shape[-1])
+        return result
+
+    # -- fused dequantize-GEMM -----------------------------------------
+    def fused_eligible(self, m_rows: int, view: PackedLevelsView) -> bool:
+        """Whether :meth:`fused_dequant_gemm` would engage for this shape.
+
+        Callers probe this *before* paying im2col / reshape so a declined
+        product costs nothing.  The reference backend never fuses: its
+        quantized path is dequantize (memoized) + BLAS.
+        """
+        return False
+
+    def fused_dequant_gemm(self, x2d: np.ndarray, view: PackedLevelsView,
+                           bias: Optional[np.ndarray] = None
+                           ) -> Optional[np.ndarray]:
+        """``x2d @ W.T (+ bias)`` with ``W`` dequantized from ``view``.
+
+        ``x2d`` is ``(M, K)`` float32, the result ``(M, N)`` float32, and
+        ``W[n, k] = scales[n] * (levels[n, k] - zero_points[n])``.
+        Returns ``None`` when the backend declines (the caller falls back
+        to the dequantize-and-GEMM reference path).
+        """
+        return None
+
+    # -- norm / activation fast paths ----------------------------------
+    # These are the graph-free spellings of the corresponding autograd
+    # operations: same operations, same order, same dtypes, minus the
+    # per-op Tensor wrapping — bit-identical outputs.
+
+    # repro: hot -- graph-free GroupNorm of every U-Net block
+    def group_norm(self, x: np.ndarray, num_groups: int, weight: np.ndarray,
+                   bias: np.ndarray, eps: float) -> np.ndarray:
+        n, c, h, w = x.shape
+        grouped = x.reshape(n, num_groups, c // num_groups * h * w)
+        inv_count = np.float32(1.0 / grouped.shape[2])
+        mean = grouped.sum(axis=2, keepdims=True) * inv_count
+        centered = grouped - mean
+        var = (centered * centered).sum(axis=2, keepdims=True) * inv_count
+        normed = centered / np.sqrt(var + np.float32(eps))
+        normed = normed.reshape(n, c, h, w)
+        return (normed * weight.reshape(1, c, 1, 1)
+                + bias.reshape(1, c, 1, 1))
+
+    # repro: hot -- graph-free LayerNorm of the transformer blocks
+    def layer_norm(self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                   eps: float) -> np.ndarray:
+        inv_count = np.float32(1.0 / x.shape[-1])
+        mean = x.sum(axis=-1, keepdims=True) * inv_count
+        centered = x - mean
+        var = (centered * centered).sum(axis=-1, keepdims=True) * inv_count
+        normed = centered / np.sqrt(var + np.float32(eps))
+        return normed * weight + bias
+
+    # repro: hot -- graph-free SiLU between every pair of U-Net convs
+    def silu(self, x: np.ndarray) -> np.ndarray:
+        sig = 1.0 / (1.0 + np.exp(-x))
+        return x * sig
+
+    # repro: hot -- graph-free attention softmax
+    def softmax(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class NumpyReferenceBackend(ComputeBackend):
+    """The default backend: plain numpy, bit-identical to the pre-backend
+    engine.  All kernels are the base-class reference implementations."""
+
+    name = "reference"
+
+
+class AcceleratedBackend(ComputeBackend):
+    """Opt-in backend with fused dequantize-GEMM integer kernels.
+
+    Float GEMMs are inherited unchanged from the reference backend —
+    numpy's BLAS is already a blocked, cache-tiled implementation with
+    its own packing workspaces, and a Python-level re-tiling of it only
+    loses.  What this backend adds is the quantized-weight product: when
+    a GEMV-shaped matmul (``M <= _FUSED_MAX_M`` output rows, the batch-1
+    denoising regime) hits a packed integer weight big enough to be
+    memory-bound (``N * K >= _FUSED_MIN_WEIGHT``), the packed bytes go
+    straight to a fused kernel from :mod:`repro.tensor._ckernels` that
+    converts levels to float in-register — the float32 weight matrix is
+    never materialized.  The affine correction
+
+        ``y[m, n] = scales[n] * (raw[m, n] - zero_points[n] * sumx[m])``
+
+    with ``raw = x @ levels.T`` and ``sumx[m] = sum_k x[m, k]`` is
+    applied on the small ``(M, N)`` output in float64, which lets one
+    raw-levels kernel serve per-tensor and per-channel formats alike.
+
+    When no jitted/compiled kernel is available the fused product falls
+    back to pure-numpy **tile dequantization**: weight rows are
+    dequantized in row blocks into a preallocated per-thread workspace
+    and multiplied per block, bounding the float working set to one tile
+    instead of the whole weight (same numerics class, no wall-clock win
+    over BLAS — the compiled kernels are where the speed lives).
+
+    Tolerance: fused outputs accumulate in float32 with reassociation
+    (fast-math) instead of BLAS order, giving relative error on the
+    order of ``K * eps_f32`` against the reference dequantize-then-GEMM
+    spelling; see ``EXPERIMENTS.md`` for the per-kernel table.
+    """
+
+    name = "accelerated"
+
+    #: Fused kernels beat BLAS sgemm only while the product is
+    #: memory-bound on the weight; at M >= 16 BLAS's operand reuse wins
+    #: (measured crossover on the reference machine: ~0.7x at M=16).
+    _FUSED_MAX_M = 8
+    #: Minimum weight elements (N * K) for fusing.  Below ~1 MB of float32
+    #: weight the dequantized matrix lives in L2 and BLAS wins (measured
+    #: 0.2-0.5x at 0.6 MB); at and above it the float traffic is what the
+    #: fused path avoids (measured 1.3-3x, growing once a model's total
+    #: weights stream from memory every forward).
+    _FUSED_MIN_WEIGHT = 262144
+    #: Row-block size of the pure-numpy tile-dequantization fallback,
+    #: sized so a float32 tile of a wide (K ~ 1k) weight stays ~L2-sized.
+    _TILE_ROWS = 64
+
+    _WORKSPACE_LIMIT = 32
+
+    def __init__(self):
+        self._workspaces = threading.local()
+
+    def _workspace(self, key: tuple, shape: tuple, dtype) -> np.ndarray:
+        """Bounded per-thread scratch cache (mirrors functional's)."""
+        cache = getattr(self._workspaces, "arrays", None)
+        if cache is None:
+            cache = OrderedDict()
+            self._workspaces.arrays = cache
+        array = cache.get(key)
+        if array is None or array.shape != shape or array.dtype != dtype:
+            array = np.empty(shape, dtype=dtype)
+            cache[key] = array
+            while len(cache) > self._WORKSPACE_LIMIT:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        return array
+
+    def fused_eligible(self, m_rows: int, view: PackedLevelsView) -> bool:
+        if view is None:
+            return False
+        n_rows, k = view.shape
+        return m_rows <= self._FUSED_MAX_M and n_rows * k >= self._FUSED_MIN_WEIGHT
+
+    # repro: hot -- the quantized-layer product of every fused forward
+    def fused_dequant_gemm(self, x2d: np.ndarray, view: PackedLevelsView,
+                           bias: Optional[np.ndarray] = None
+                           ) -> Optional[np.ndarray]:
+        m_rows = x2d.shape[0]
+        if not self.fused_eligible(m_rows, view):
+            return None
+        n_rows, k = view.shape
+        x2d = np.ascontiguousarray(x2d, dtype=np.float32)
+        kernels = _ckernels.load_kernels()
+        if kernels is not None:
+            raw = self._workspace(("raw", m_rows, n_rows), (m_rows, n_rows),
+                                  np.float32)
+            if view.bitwidth > 4:
+                kernels.gemm_u8(x2d, view.packed, raw)
+            else:
+                kernels.gemm_u4(x2d, view.packed, raw)
+            # Affine correction on the small (M, N) output, in float64 so
+            # the raw-levels accumulation stays the only float32 error
+            # source: y = s * (raw - z * sumx).
+            sumx = x2d.sum(axis=1, dtype=np.float64)
+            out = (view.scales[None, :]
+                   * (raw.astype(np.float64)
+                      - view.zero_points[None, :] * sumx[:, None]))
+            out = out.astype(np.float32)
+        else:
+            out = self._tiled_dequant_gemm(x2d, view)
+        _add_macs(m_rows * n_rows * k)
+        if bias is not None:
+            out += bias
+        return out
+
+    def _tiled_dequant_gemm(self, x2d: np.ndarray,
+                            view: PackedLevelsView) -> np.ndarray:
+        """Pure-numpy fallback: dequantize weight rows one tile at a time."""
+        m_rows = x2d.shape[0]
+        n_rows, k = view.shape
+        tile = self._TILE_ROWS
+        wbuf = self._workspace(("tile", tile, k), (tile, k), np.float32)
+        scales = view.scales.astype(np.float32)
+        zero_points = view.zero_points.astype(np.float32)
+        out = np.empty((m_rows, n_rows), dtype=np.float32)
+        for n0 in range(0, n_rows, tile):
+            n1 = min(n0 + tile, n_rows)
+            rows = n1 - n0
+            block = wbuf[:rows]
+            if view.bitwidth > 4:
+                block[:] = view.packed[n0:n1]
+            else:
+                nibbles = view.packed[n0:n1]
+                block[:, 0::2] = nibbles & np.uint8(0x0F)
+                block[:, 1::2] = nibbles >> np.uint8(4)
+            block -= zero_points[n0:n1, None]
+            block *= scales[n0:n1, None]
+            out[:, n0:n1] = x2d @ block.T
+        return out
+
+
+# ----------------------------------------------------------------------
+# registry and selection
+# ----------------------------------------------------------------------
+#: Guards the registry and the process-default switch; the *read* path
+#: (active_backend) is lock-free — it reads one reference, and a torn
+#: read cannot occur on a single attribute swap.
+_BACKEND_LOCK = threading.Lock()
+_BACKENDS: dict = {}
+_OVERRIDES = threading.local()
+
+
+def register_backend(backend: ComputeBackend) -> None:
+    """Add a backend instance to the registry under ``backend.name``."""
+    with _BACKEND_LOCK:
+        _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> ComputeBackend:
+    """Look up a registered backend by name."""
+    with _BACKEND_LOCK:
+        backend = _BACKENDS.get(name)
+        if backend is None:
+            known = sorted(_BACKENDS)
+            raise ValueError(f"unknown backend {name!r}; known backends: {known}")
+        return backend
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Names of all registered backends."""
+    with _BACKEND_LOCK:
+        return tuple(sorted(_BACKENDS))
+
+
+register_backend(NumpyReferenceBackend())
+register_backend(AcceleratedBackend())
+
+_DEFAULT = _BACKENDS["reference"]
+
+
+def set_backend(name: str) -> None:
+    """Switch the process-default backend (all threads without overrides)."""
+    global _DEFAULT
+    backend = get_backend(name)
+    with _BACKEND_LOCK:
+        _DEFAULT = backend
+
+
+# repro: hot -- autograd backward closures pin the bit-exact backend
+def reference_backend() -> ComputeBackend:
+    """The always-registered bit-exact reference backend.
+
+    Gradient paths dispatch through this unconditionally — autograd
+    numerics never change with the backend selection.  Lock-free read of
+    a registry key that is installed at import and never removed.
+    """
+    return _BACKENDS["reference"]
+
+
+# repro: hot -- consulted by every dispatched tensor operation
+def active_backend() -> ComputeBackend:
+    """The backend in effect on this thread: innermost override, else
+    the process default."""
+    stack = getattr(_OVERRIDES, "stack", None)
+    if stack:
+        return stack[-1]
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Scoped thread-local backend override (does not affect other threads)."""
+    backend = get_backend(name)
+    stack = getattr(_OVERRIDES, "stack", None)
+    if stack is None:
+        stack = []
+        _OVERRIDES.stack = stack
+    stack.append(backend)
+    try:
+        yield backend
+    finally:
+        stack.pop()
+
+
+def backend_info() -> dict:
+    """Backend facts for the bench environment fingerprint."""
+    return {
+        "default": _DEFAULT.name,
+        "kernels": _ckernels.kernel_status(),
+    }
+
+
+_env_choice = os.environ.get("REPRO_BACKEND")
+if _env_choice:
+    set_backend(_env_choice)  # raises on unknown names: fail at import, loudly
+del _env_choice

@@ -13,6 +13,12 @@ shape, so repeated forwards — every denoising step of every sampler pass —
 reuse the same buffers instead of re-allocating them.  Graph-building calls
 never use the cache: their backward closures retain the patch matrix, which
 must therefore stay privately owned.
+
+Every GEMM in this module dispatches through :mod:`repro.tensor.backend`
+rather than calling numpy directly: inference paths use the active backend,
+graph-building forwards and all backward closures pin the bit-exact
+reference backend.  :func:`fused_linear` / :func:`fused_conv2d` are the
+packed-integer-weight entry points the quantized layer wrappers try first.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, is_grad_enabled
+from .backend import PackedLevelsView, active_backend, reference_backend
+from .tensor import Tensor, is_grad_enabled, is_inference_mode
 
 #: Per-thread workspace cache (thread-local: the parallel experiment runner
 #: forwards independent models on worker threads).  Bounded so long-running
@@ -158,29 +165,32 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     if not track:
         gemm = _workspace(("gemm", n, out_h * out_w, c_out, cols.dtype.str),
                           (n, out_h * out_w, c_out), cols.dtype)
-        np.matmul(cols, w_mat.T, out=gemm)
-        if bias is not None:
-            np.add(gemm, bias.data.reshape(1, 1, c_out), out=gemm)
+        active_backend().im2col_conv(
+            cols, w_mat, None if bias is None else bias.data, out=gemm)
         # ascontiguousarray forces a copy out of the workspace (the plain
         # transpose+reshape would alias it), so the returned tensor owns its
         # data and the workspace is free for the next call.
         out = np.ascontiguousarray(gemm.transpose(0, 2, 1))
         return Tensor._from_data(out.reshape(n, c_out, out_h, out_w))
 
-    out = cols @ w_mat.T  # (N, L, C_out)
-    if bias is not None:
-        out = out + bias.data.reshape(1, 1, c_out)
+    # Graph-building path: pinned to the reference backend, like every
+    # backward closure — autograd numerics never change with the backend.
+    out = reference_backend().im2col_conv(
+        cols, w_mat, None if bias is None else bias.data)  # (N, L, C_out)
     out = out.transpose(0, 2, 1).reshape(n, c_out, out_h, out_w)
 
     def backward(grad):
+        reference = reference_backend()
         grad_mat = grad.reshape(n, c_out, out_h * out_w).transpose(0, 2, 1)
         if weight.requires_grad:
-            grad_w = np.einsum("nlc,nlk->ck", grad_mat, cols).reshape(weight.shape)
-            weight._accumulate(grad_w)
+            grad_w = reference.gemm(
+                np.ascontiguousarray(grad_mat).reshape(-1, c_out),
+                cols.reshape(-1, cols.shape[-1]), transpose_a=True)
+            weight._accumulate(grad_w.reshape(weight.shape))
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad_mat.sum(axis=(0, 1)))
         if x.requires_grad:
-            grad_cols = grad_mat @ w_mat
+            grad_cols = reference.batched_gemm(grad_mat, w_mat)
             grad_x = _col2im(grad_cols, x.shape, (kh, kw), stride, padding)
             x._accumulate(grad_x)
 
@@ -193,6 +203,76 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     if bias is not None:
         out = out + bias
     return out
+
+
+def fused_linear(x: Tensor, storage, bias: Optional[Tensor] = None
+                 ) -> Optional[Tensor]:
+    """Linear layer straight from packed integer weight storage.
+
+    ``storage`` is a ``QuantizedStorage`` (see :mod:`repro.core.qmodules`);
+    its :meth:`packed_view` bytes go to the active backend's fused
+    dequantize-GEMM without materializing the float weight.  Returns
+    ``None`` whenever the fused path does not apply — outside inference
+    mode, when the storage has no row-aligned view, or when the backend
+    declines the shape — and the caller falls back to the dequantized
+    :func:`linear` path.
+    """
+    if not is_inference_mode():
+        return None
+    view: Optional[PackedLevelsView] = storage.packed_view()
+    if view is None:
+        return None
+    n_rows, k = view.shape
+    if x.shape[-1] != k:
+        return None
+    m = x.size // k
+    backend = active_backend()
+    if not backend.fused_eligible(m, view):
+        return None
+    x2d = np.ascontiguousarray(x.data.reshape(m, k), dtype=np.float32)
+    out = backend.fused_dequant_gemm(
+        x2d, view, bias=None if bias is None else bias.data)
+    if out is None:
+        return None
+    return Tensor._from_data(out.reshape(x.shape[:-1] + (n_rows,)))
+
+
+def fused_conv2d(x: Tensor, storage, bias: Optional[Tensor] = None,
+                 stride: int = 1, padding: int = 0,
+                 kernel_size: int = 1) -> Optional[Tensor]:
+    """Convolution straight from packed integer weight storage.
+
+    The im2col lowering turns the convolution into exactly the GEMV-shaped
+    product :func:`fused_linear` handles — ``(N * out_h * out_w, K)``
+    patches against the packed ``(C_out, K)`` weight — so the same fused
+    kernel serves both layer types.  Same ``None``-fallback contract as
+    :func:`fused_linear`; eligibility is probed from shapes *before* the
+    im2col so a declined call costs nothing.
+    """
+    if not is_inference_mode():
+        return None
+    view: Optional[PackedLevelsView] = storage.packed_view()
+    if view is None:
+        return None
+    n, c_in, h, w = x.shape
+    c_out, k = view.shape
+    if k != c_in * kernel_size * kernel_size:
+        return None
+    out_h = (h + 2 * padding - kernel_size) // stride + 1
+    out_w = (w + 2 * padding - kernel_size) // stride + 1
+    m = n * out_h * out_w
+    backend = active_backend()
+    if not backend.fused_eligible(m, view):
+        return None
+    cols, _ = _im2col(x.data, (kernel_size, kernel_size), stride, padding,
+                      reuse=True)
+    out = backend.fused_dequant_gemm(
+        cols.reshape(m, k), view, bias=None if bias is None else bias.data)
+    if out is None:
+        return None
+    out = np.ascontiguousarray(
+        out.reshape(n, out_h * out_w, c_out).transpose(0, 2, 1))
+    return Tensor._from_data(out.reshape(n, c_out, out_h, out_w))
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
@@ -229,6 +309,8 @@ def scaled_dot_product_attention(query: Tensor, key: Tensor,
     """Attention ``softmax(Q K^T / sqrt(d)) V`` over the last two dims.
 
     Shapes follow the usual ``(batch*heads, tokens, head_dim)`` convention.
+    Both products and the softmax dispatch through the active compute
+    backend via the :class:`Tensor` operations.
     """
     d = query.shape[-1]
     scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))

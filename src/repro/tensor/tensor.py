@@ -39,6 +39,8 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from .backend import active_backend, reference_backend
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
 #: Grad mode is **thread-local**: the parallel experiment runner executes
@@ -360,16 +362,22 @@ class Tensor:
         return self.matmul(other)
 
     def matmul(self, other: ArrayLike) -> "Tensor":
-        """Matrix multiplication supporting 2-D and batched (>2-D) operands."""
+        """Matrix multiplication supporting 2-D and batched (>2-D) operands.
+
+        The product dispatches through the active compute backend; the
+        backward closure always uses the reference backend so gradient
+        numerics are independent of the backend selection.
+        """
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        data = self.data @ other_t.data
+        data = active_backend().batched_gemm(self.data, other_t.data)
         if _no_graph(self, other_t):
             return Tensor._from_data(data)
 
         def backward(grad):
             a, b = self.data, other_t.data
-            grad_a = grad @ np.swapaxes(b, -1, -2)
-            grad_b = np.swapaxes(a, -1, -2) @ grad
+            reference = reference_backend()
+            grad_a = reference.batched_gemm(grad, np.swapaxes(b, -1, -2))
+            grad_b = reference.batched_gemm(np.swapaxes(a, -1, -2), grad)
             self._accumulate(_unbroadcast(grad_a, a.shape))
             other_t._accumulate(_unbroadcast(grad_b, b.shape))
 
@@ -450,10 +458,10 @@ class Tensor:
 
     def silu(self) -> "Tensor":
         """SiLU / swish activation, ``x * sigmoid(x)`` (used throughout U-Nets)."""
+        if _no_graph(self):
+            return Tensor._from_data(active_backend().silu(self.data))
         sig = 1.0 / (1.0 + np.exp(-self.data))
         data = self.data * sig
-        if _no_graph(self):
-            return Tensor._from_data(data)
 
         def backward(grad):
             self._accumulate(grad * (sig + self.data * sig * (1.0 - sig)))
@@ -571,11 +579,11 @@ class Tensor:
         return Tensor._wire(data, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
+        if _no_graph(self):
+            return Tensor._from_data(active_backend().softmax(self.data, axis))
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exp = np.exp(shifted)
         data = exp / exp.sum(axis=axis, keepdims=True)
-        if _no_graph(self):
-            return Tensor._from_data(data)
 
         def backward(grad):
             dot = (grad * data).sum(axis=axis, keepdims=True)

@@ -474,6 +474,96 @@ class TestShimDriftRule:
 
 
 # ----------------------------------------------------------------------
+# rule: gemm-dispatch
+# ----------------------------------------------------------------------
+class TestGemmDispatchRule:
+    def test_raw_numpy_matmul_in_dispatch_module_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "nn/layers.py": """
+                import numpy as np
+
+                def forward(x, w):
+                    return np.matmul(x, w.T)
+            """,
+        }, rules=["gemm-dispatch"])
+        assert len(findings) == 1
+        assert findings[0].rule == "gemm-dispatch"
+        assert "np.matmul" in findings[0].message
+        assert findings[0].symbol == "forward"
+
+    def test_matmult_operator_is_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "tensor/ops.py": """
+                def score(q, k):
+                    return q @ k.T
+            """,
+        }, rules=["gemm-dispatch"])
+        assert len(findings) == 1
+        assert "'@'" in findings[0].message
+
+    def test_from_import_and_alias_are_resolved(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "core/qmodules.py": """
+                import numpy as xp
+                from numpy import einsum as es
+
+                def a(x, w):
+                    return xp.tensordot(x, w, axes=1)
+
+                def b(x, w):
+                    return es("ij,kj->ik", x, w)
+            """,
+        }, rules=["gemm-dispatch"])
+        assert len(findings) == 2
+        assert {f.symbol for f in findings} == {"a", "b"}
+
+    def test_tensor_level_matmul_is_not_flagged(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "tensor/functional.py": """
+                def linear(x, weight, bias):
+                    out = x.matmul(weight.transpose())
+                    return out if bias is None else out + bias
+            """,
+        }, rules=["gemm-dispatch"])
+        assert findings == []
+
+    def test_backend_module_is_exempt(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "tensor/backend.py": """
+                import numpy as np
+
+                def gemm(a, b):
+                    return np.matmul(a, b)
+            """,
+        }, rules=["gemm-dispatch"])
+        assert findings == []
+
+    def test_modules_outside_dispatch_globs_are_ignored(self, tmp_path):
+        findings, _ = analyze(tmp_path, {
+            "serving/pool.py": """
+                import numpy as np
+
+                def mix(a, b):
+                    return np.dot(a, b)
+            """,
+        }, rules=["gemm-dispatch"])
+        assert findings == []
+
+    def test_pragma_suppresses_a_reasoned_bypass(self, tmp_path):
+        findings, suppressed = analyze(tmp_path, {
+            "tensor/shapes.py": """
+                import numpy as np
+
+                def flops(a, b):
+                    # Shape-only estimate, never on the data path.
+                    return np.einsum("ij,jk->", a, b)  # repro: allow[gemm-dispatch]
+            """,
+        }, rules=["gemm-dispatch"])
+        assert findings == []
+        assert suppressed == 1
+
+
+# ----------------------------------------------------------------------
 # pragmas and baseline
 # ----------------------------------------------------------------------
 class TestSuppression:
@@ -646,12 +736,13 @@ class TestCli:
         assert blocked.returncode == 1
         assert "time.monotonic" in blocked.stdout
 
-    def test_list_rules_names_all_eight(self, tmp_path):
+    def test_list_rules_names_all_nine(self, tmp_path):
         result = run_cli(["--list-rules"], cwd=tmp_path)
         assert result.returncode == 0
         for rule in ("determinism", "stage-purity", "fingerprint-coverage",
                      "tracer-discipline", "shim-drift", "race-discipline",
-                     "hot-path-alloc", "schema-discipline"):
+                     "hot-path-alloc", "schema-discipline",
+                     "gemm-dispatch"):
             assert rule in result.stdout
 
     def test_syntax_error_fails_the_gate(self, tmp_path):
@@ -669,13 +760,14 @@ class TestCli:
 # registry and report plumbing
 # ----------------------------------------------------------------------
 class TestRegistryAndReport:
-    def test_all_eight_rules_are_registered(self):
+    def test_all_nine_rules_are_registered(self):
         names = [name for name, _ in available_checkers()]
         assert names == sorted(names)
         assert set(names) == {"determinism", "stage-purity",
                               "fingerprint-coverage", "tracer-discipline",
                               "shim-drift", "race-discipline",
-                              "hot-path-alloc", "schema-discipline"}
+                              "hot-path-alloc", "schema-discipline",
+                              "gemm-dispatch"}
 
     def test_unknown_rule_raises(self, tmp_path):
         src = write_tree(tmp_path, {"core/x.py": "VALUE = 1\n"})

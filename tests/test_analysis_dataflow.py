@@ -7,6 +7,7 @@ change, hits on touch-without-change), and the ``--fix`` mode (dry-run
 diff, applied rewrites, idempotence).
 """
 
+import json
 import shutil
 import subprocess
 import sys
@@ -484,18 +485,8 @@ class TestFixMode:
             "experiments/harness.py": """
                 from .runner import run_experiment
 
-                def run_quantization_table(model_name, config_labels=None,
-                                           keep_images=False, store=None):
-                    return run_experiment(model_name, config_labels,
-                                          store=store)
-
-                def run_config_experiment(model_name, config_labels=None,
-                                          store=None):
-                    return run_experiment(model_name, config_labels,
-                                          store=store)
-
-                def run_experiment_spec(model_name, config_labels=None,
-                                        store=None):
+                def legacy_table(model_name, config_labels=None,
+                                 keep_images=False, store=None):
                     return run_experiment(model_name, config_labels,
                                           store=store)
             """,
@@ -505,17 +496,23 @@ class TestFixMode:
                     return (model_name, config_labels, store)
             """,
         })
-        gate = run_cli(["src", "--no-baseline", "--rules", "shim-drift"],
-                       cwd=tmp_path)
+        config = tmp_path / "analysis.json"
+        config.write_text(json.dumps({"shim_pairs": [
+            {"shim": "experiments.harness.legacy_table",
+             "replacement": "experiments.runner.run_experiment",
+             "exempt": []},
+        ]}))
+        gate = run_cli(["src", "--no-baseline", "--rules", "shim-drift",
+                        "--config", str(config)], cwd=tmp_path)
         assert gate.returncode == 1
         assert "never forwards it" in gate.stdout
         result = run_cli(["src", "--no-baseline", "--rules", "shim-drift",
-                          "--fix"], cwd=tmp_path)
+                          "--config", str(config), "--fix"], cwd=tmp_path)
         assert result.returncode == 0
         text = (tmp_path / "src" / "repro" / "experiments"
                 / "harness.py").read_text()
-        assert "keep_images" not in text.split("def run_quantization_table")[1] \
+        assert "keep_images" not in text.split("def legacy_table")[1] \
             .split(")")[0]
-        regate = run_cli(["src", "--no-baseline", "--rules", "shim-drift"],
-                         cwd=tmp_path)
+        regate = run_cli(["src", "--no-baseline", "--rules", "shim-drift",
+                          "--config", str(config)], cwd=tmp_path)
         assert regate.returncode == 0

@@ -1,0 +1,463 @@
+"""Equivalence and selection tests for the pluggable compute backends.
+
+The contract under test (see ``src/repro/tensor/backend.py``):
+
+* the ``reference`` backend is bit-identical to the plain numpy
+  spellings it replaced, for every kernel of the contract;
+* the ``accelerated`` backend's fused dequantize-GEMM matches the
+  reference dequantize-then-GEMM within its documented tolerance
+  (float32 fast-math accumulation: relative error ~ ``K * eps_f32``),
+  across schemes, shapes and both kernel tiers (compiled and the
+  pure-numpy tiled fallback);
+* backend selection is explicit and scoped — process default via
+  ``set_backend`` / ``REPRO_BACKEND``, thread-local override via
+  ``use_backend`` — and never leaks across threads;
+* the fused path only engages inside inference mode and within the
+  eligibility gates, so autograd numerics are backend-independent.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import IdentityQuantizer, QuantizedConv2d, QuantizedLinear
+from repro.core.integer import calibrate_int_format
+from repro.core.qmodules import (
+    IntTensorQuantizer,
+    PackedIntWeight,
+    PerChannelIntTensorQuantizer,
+)
+from repro.nn import Conv2d, Linear
+from repro.tensor import (
+    Tensor,
+    active_backend,
+    count_macs,
+    get_backend,
+    inference_mode,
+    list_backends,
+    set_backend,
+    use_backend,
+)
+from repro.tensor import functional as F
+from repro.tensor import _ckernels
+from repro.tensor.backend import (
+    AcceleratedBackend,
+    PackedLevelsView,
+    reference_backend,
+)
+
+#: Smallest fused-eligible weight: N * K >= _FUSED_MIN_WEIGHT elements.
+ELIGIBLE_N, ELIGIBLE_K = 512, 1024
+
+#: The process default honors REPRO_BACKEND (the backend-matrix CI job
+#: runs this very suite under both values).
+DEFAULT_BACKEND = os.environ.get("REPRO_BACKEND", "reference")
+
+RNG = np.random.default_rng(11)
+
+
+def _packed_storage(scheme: str, n: int, k: int, per_channel: bool = False):
+    """(storage, float_weight) pair for a fused-eligible random weight."""
+    bits = {"int8": 8, "int4": 4}[scheme]
+    weight = (RNG.standard_normal((n, k)) * 0.05).astype(np.float32)
+    if per_channel:
+        quantizer = PerChannelIntTensorQuantizer.calibrated(weight, bits)
+    else:
+        quantizer = IntTensorQuantizer(calibrate_int_format(weight, bits))
+    storage = quantizer.pack_weights(weight)
+    assert storage is not None
+    return storage, storage.dequantize()
+
+
+def _reference_product(x2d: np.ndarray, view: PackedLevelsView,
+                       storage: PackedIntWeight) -> np.ndarray:
+    dequant = storage.dequantize().reshape(view.shape)
+    return x2d @ dequant.T
+
+
+def _assert_within_tolerance(actual, expected):
+    scale = max(float(np.max(np.abs(expected))), 1.0)
+    np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-3 * scale)
+
+
+@pytest.fixture
+def restore_default_backend():
+    yield
+    set_backend(DEFAULT_BACKEND)
+
+
+@pytest.fixture
+def reload_kernels():
+    """Tests that flip the kernel env gates must not poison the memo."""
+    _ckernels.reset_kernels_for_testing()
+    yield
+    _ckernels.reset_kernels_for_testing()
+
+
+# ----------------------------------------------------------------------
+# reference backend: bit-identical to the raw numpy spellings
+# ----------------------------------------------------------------------
+class TestReferenceBitIdentity:
+    def test_gemm_matches_numpy(self):
+        a = RNG.standard_normal((7, 13)).astype(np.float32)
+        b = RNG.standard_normal((13, 5)).astype(np.float32)
+        backend = reference_backend()
+        assert np.array_equal(backend.gemm(a, b), a @ b)
+        assert np.array_equal(backend.gemm(a, b.T, transpose_b=True),
+                              a @ b)
+        assert np.array_equal(backend.gemm(a.T, b, transpose_a=True),
+                              a @ b)
+
+    def test_batched_gemm_matches_numpy(self):
+        a = RNG.standard_normal((3, 4, 6)).astype(np.float32)
+        b = RNG.standard_normal((3, 6, 5)).astype(np.float32)
+        assert np.array_equal(reference_backend().batched_gemm(a, b), a @ b)
+
+    def test_im2col_conv_matches_numpy(self):
+        cols = RNG.standard_normal((2, 9, 12)).astype(np.float32)
+        w_mat = RNG.standard_normal((4, 12)).astype(np.float32)
+        bias = RNG.standard_normal(4).astype(np.float32)
+        expected = cols @ w_mat.T + bias.reshape(1, 1, -1)
+        assert np.array_equal(
+            reference_backend().im2col_conv(cols, w_mat, bias), expected)
+
+    def test_norm_and_activation_fast_paths_match_numpy(self):
+        backend = reference_backend()
+        x = RNG.standard_normal((2, 8, 4, 4)).astype(np.float32)
+        flat = RNG.standard_normal((3, 16)).astype(np.float32)
+        sig = 1.0 / (1.0 + np.exp(-flat))
+        assert np.array_equal(backend.silu(flat), flat * sig)
+        shifted = flat - flat.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        assert np.array_equal(backend.softmax(flat),
+                              exp / exp.sum(axis=-1, keepdims=True))
+        weight = np.ones(8, dtype=np.float32)
+        bias = np.zeros(8, dtype=np.float32)
+        normed = backend.group_norm(x, 2, weight, bias, 1e-5)
+        assert normed.shape == x.shape and np.all(np.isfinite(normed))
+
+    def test_reference_never_fuses(self):
+        storage, _ = _packed_storage("int8", ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        backend = reference_backend()
+        assert not backend.fused_eligible(1, view)
+        x = RNG.standard_normal((1, ELIGIBLE_K)).astype(np.float32)
+        assert backend.fused_dequant_gemm(x, view) is None
+
+
+# ----------------------------------------------------------------------
+# accelerated backend: fused kernels within documented tolerance
+# ----------------------------------------------------------------------
+class TestFusedDequantGemm:
+    @pytest.mark.parametrize("scheme", ["int8", "int4"])
+    @pytest.mark.parametrize("per_channel", [False, True])
+    @pytest.mark.parametrize("m_rows", [1, 4, 8])
+    def test_matches_reference_within_tolerance(self, scheme, per_channel,
+                                                m_rows):
+        storage, _ = _packed_storage(scheme, ELIGIBLE_N, ELIGIBLE_K,
+                                     per_channel=per_channel)
+        view = storage.packed_view()
+        assert view is not None
+        x = RNG.standard_normal((m_rows, ELIGIBLE_K)).astype(np.float32)
+        backend = get_backend("accelerated")
+        out = backend.fused_dequant_gemm(x, view)
+        assert out is not None and out.dtype == np.float32
+        _assert_within_tolerance(out, _reference_product(x, view, storage))
+
+    @pytest.mark.parametrize("scheme", ["int8", "int4"])
+    def test_bias_is_added(self, scheme):
+        storage, _ = _packed_storage(scheme, ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        x = RNG.standard_normal((2, ELIGIBLE_K)).astype(np.float32)
+        bias = RNG.standard_normal(ELIGIBLE_N).astype(np.float32)
+        backend = get_backend("accelerated")
+        out = backend.fused_dequant_gemm(x, view, bias=bias)
+        _assert_within_tolerance(
+            out, _reference_product(x, view, storage) + bias)
+
+    def test_declines_wide_products(self):
+        storage, _ = _packed_storage("int8", ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        backend = get_backend("accelerated")
+        wide_m = AcceleratedBackend._FUSED_MAX_M + 1
+        assert not backend.fused_eligible(wide_m, view)
+        x = RNG.standard_normal((wide_m, ELIGIBLE_K)).astype(np.float32)
+        assert backend.fused_dequant_gemm(x, view) is None
+
+    def test_declines_cache_resident_weights(self):
+        storage, _ = _packed_storage("int8", 64, 64)
+        view = storage.packed_view()
+        assert not get_backend("accelerated").fused_eligible(1, view)
+
+    def test_odd_reduction_depth_has_no_nibble_view(self):
+        weight = (RNG.standard_normal((512, 1023)) * 0.05).astype(np.float32)
+        quantizer = IntTensorQuantizer(calibrate_int_format(weight, 4))
+        storage = quantizer.pack_weights(weight)
+        assert storage.packed_view() is None
+
+    @pytest.mark.parametrize("scheme", ["int8", "int4"])
+    def test_tiled_fallback_matches_reference(self, scheme, monkeypatch,
+                                              reload_kernels):
+        monkeypatch.setenv("REPRO_NO_CKERNELS", "1")
+        storage, _ = _packed_storage(scheme, ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        x = RNG.standard_normal((4, ELIGIBLE_K)).astype(np.float32)
+        out = get_backend("accelerated").fused_dequant_gemm(x, view)
+        assert _ckernels.kernel_status() == "disabled"
+        assert out is not None
+        _assert_within_tolerance(out, _reference_product(x, view, storage))
+
+
+# ----------------------------------------------------------------------
+# quantized layers across schemes x backends
+# ----------------------------------------------------------------------
+def _quantized_linear(scheme: str):
+    bits = {"int8": 8, "int4": 4}[scheme]
+    layer = Linear(ELIGIBLE_K, ELIGIBLE_N, rng=np.random.default_rng(5))
+    weight = layer.weight.data
+    quantizer = IntTensorQuantizer(calibrate_int_format(weight, bits))
+    return QuantizedLinear(layer, quantizer.quantize(weight),
+                           IdentityQuantizer(), quantizer,
+                           packed_weight=quantizer.pack_weights(weight))
+
+
+def _quantized_conv(scheme: str):
+    bits = {"int8": 8, "int4": 4}[scheme]
+    layer = Conv2d(64, 512, kernel_size=3, padding=1,
+                   rng=np.random.default_rng(6))
+    weight = layer.weight.data
+    quantizer = IntTensorQuantizer(calibrate_int_format(weight, bits))
+    return QuantizedConv2d(layer, quantizer.quantize(weight),
+                           IdentityQuantizer(), quantizer,
+                           packed_weight=quantizer.pack_weights(weight))
+
+
+class TestQuantizedLayerDispatch:
+    @pytest.mark.parametrize("scheme", ["int8", "int4"])
+    def test_linear_accelerated_matches_reference(self, scheme):
+        module = _quantized_linear(scheme)
+        x = Tensor(RNG.standard_normal((2, ELIGIBLE_K)).astype(np.float32))
+        with inference_mode(), use_backend("reference"):
+            expected = module(x).data
+        with inference_mode(), use_backend("accelerated"):
+            actual = module(x).data
+        _assert_within_tolerance(actual, expected)
+
+    @pytest.mark.parametrize("scheme", ["int8", "int4"])
+    def test_conv_accelerated_matches_reference(self, scheme):
+        module = _quantized_conv(scheme)
+        x = Tensor(RNG.standard_normal((1, 64, 2, 2)).astype(np.float32))
+        with inference_mode(), use_backend("reference"):
+            expected = module(x).data
+        with inference_mode(), use_backend("accelerated"):
+            actual = module(x).data
+        _assert_within_tolerance(actual, expected)
+
+    def test_reference_backend_is_bit_identical_in_inference_mode(self):
+        # The fused entry points return None on the reference backend, so
+        # inference mode cannot change reference numerics.
+        module = _quantized_linear("int8")
+        x = Tensor(RNG.standard_normal((2, ELIGIBLE_K)).astype(np.float32))
+        with use_backend("reference"):
+            plain = module(x).data
+            with inference_mode():
+                inferred = module(x).data
+        assert np.array_equal(plain, inferred)
+
+    def test_fused_path_stays_off_outside_inference_mode(self):
+        # Autograd numerics are backend-independent: without inference
+        # mode the accelerated backend must produce the exact reference
+        # result (the fused kernel is gated off, not just tolerated).
+        module = _quantized_linear("int4")
+        x = Tensor(RNG.standard_normal((2, ELIGIBLE_K)).astype(np.float32))
+        with use_backend("reference"):
+            expected = module(x).data
+        with use_backend("accelerated"):
+            actual = module(x).data
+        assert np.array_equal(actual, expected)
+
+    def test_fused_linear_entry_point_requires_inference_mode(self):
+        module = _quantized_linear("int8")
+        x = Tensor(RNG.standard_normal((2, ELIGIBLE_K)).astype(np.float32))
+        with use_backend("accelerated"):
+            assert F.fused_linear(x, module.packed_weight) is None
+            with inference_mode():
+                assert F.fused_linear(x, module.packed_weight) is not None
+
+
+# ----------------------------------------------------------------------
+# selection: process default, env var, scoped override
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_both_backends_are_registered(self):
+        assert set(list_backends()) >= {"reference", "accelerated"}
+
+    def test_unknown_backend_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_default_honors_environment(self):
+        assert active_backend().name == DEFAULT_BACKEND
+
+    def test_set_backend_switches_process_default(self,
+                                                  restore_default_backend):
+        set_backend("accelerated")
+        assert active_backend().name == "accelerated"
+        set_backend("reference")
+        assert active_backend().name == "reference"
+
+    def test_use_backend_is_scoped(self):
+        assert active_backend().name == DEFAULT_BACKEND
+        with use_backend("accelerated") as backend:
+            assert backend.name == "accelerated"
+            assert active_backend() is backend
+            with use_backend("reference"):
+                assert active_backend().name == "reference"
+            assert active_backend().name == "accelerated"
+        assert active_backend().name == DEFAULT_BACKEND
+
+    def _run_subprocess(self, env_value):
+        env = dict(os.environ)
+        env.pop("REPRO_BACKEND", None)
+        if env_value is not None:
+            env["REPRO_BACKEND"] = env_value
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-c",
+             "from repro.tensor import active_backend; "
+             "print(active_backend().name)"],
+            capture_output=True, text=True, env=env)
+
+    def test_env_var_selects_default_at_import(self):
+        result = self._run_subprocess("accelerated")
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "accelerated"
+
+    def test_missing_env_var_keeps_reference_default(self):
+        result = self._run_subprocess(None)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "reference"
+
+    def test_unknown_env_var_fails_at_import(self):
+        result = self._run_subprocess("tpu")
+        assert result.returncode != 0
+        assert "unknown backend" in result.stderr
+
+
+# ----------------------------------------------------------------------
+# thread safety
+# ----------------------------------------------------------------------
+class TestThreadSafety:
+    def test_use_backend_does_not_leak_across_threads(self):
+        iterations = 200
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(iterations):
+                    with use_backend(name):
+                        if active_backend().name != name:
+                            errors.append(
+                                f"{name} thread saw {active_backend().name}")
+                            return
+                    if active_backend().name != DEFAULT_BACKEND:
+                        errors.append(f"{name} thread default corrupted")
+                        return
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(name,))
+                   for name in ("accelerated", "reference")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+    def test_set_backend_races_are_never_torn(self, restore_default_backend):
+        stop = threading.Event()
+        errors = []
+
+        def flipper():
+            while not stop.is_set():
+                set_backend("accelerated")
+                set_backend("reference")
+
+        def reader():
+            for _ in range(2000):
+                name = active_backend().name
+                if name not in ("reference", "accelerated"):
+                    errors.append(name)
+                    return
+
+        flip = threading.Thread(target=flipper)
+        read = threading.Thread(target=reader)
+        flip.start()
+        read.start()
+        read.join()
+        stop.set()
+        flip.join()
+        assert not errors, errors
+
+    def test_fused_kernels_are_thread_safe(self):
+        storage, _ = _packed_storage("int8", ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        backend = get_backend("accelerated")
+        expected = _reference_product(
+            np.ones((4, ELIGIBLE_K), dtype=np.float32), view, storage)
+        errors = []
+
+        def worker():
+            x = np.ones((4, ELIGIBLE_K), dtype=np.float32)
+            for _ in range(20):
+                out = backend.fused_dequant_gemm(x, view)
+                try:
+                    _assert_within_tolerance(out, expected)
+                except AssertionError as exc:
+                    errors.append(str(exc))
+                    return
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+
+# ----------------------------------------------------------------------
+# MACs accounting
+# ----------------------------------------------------------------------
+class TestCountMacs:
+    def test_gemm_macs_are_exact(self):
+        a = RNG.standard_normal((3, 7)).astype(np.float32)
+        b = RNG.standard_normal((7, 5)).astype(np.float32)
+        with count_macs() as counter:
+            reference_backend().gemm(a, b)
+        assert counter.macs == 3 * 7 * 5
+
+    def test_counters_nest(self):
+        a = RNG.standard_normal((2, 4)).astype(np.float32)
+        b = RNG.standard_normal((4, 2)).astype(np.float32)
+        with count_macs() as outer:
+            reference_backend().gemm(a, b)
+            with count_macs() as inner:
+                reference_backend().gemm(a, b)
+        assert inner.macs == 2 * 4 * 2
+        assert outer.macs == 2 * (2 * 4 * 2)
+
+    def test_fused_gemm_counts_full_reduction(self):
+        storage, _ = _packed_storage("int8", ELIGIBLE_N, ELIGIBLE_K)
+        view = storage.packed_view()
+        x = RNG.standard_normal((4, ELIGIBLE_K)).astype(np.float32)
+        with count_macs() as counter:
+            get_backend("accelerated").fused_dequant_gemm(x, view)
+        assert counter.macs == 4 * ELIGIBLE_N * ELIGIBLE_K

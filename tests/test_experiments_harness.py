@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import PAPER_CONFIGS
-from repro.experiments import BenchSettings, ExperimentRow, TableResult
-from repro.experiments.harness import PAPER_ROW_ORDER, _dataset_reference
+from repro.experiments import (BenchSettings, ExperimentRow, PAPER_ROW_ORDER,
+                               TableResult)
+from repro.experiments.harness import _dataset_reference
 from repro.metrics import EvaluationResult
 
 

@@ -3,8 +3,9 @@
 Covers the ISSUE-3 acceptance criteria: spec/manifest JSON round-trips,
 stage-level cache hits and invalidation when a spec field changes,
 determinism of parallel vs sequential execution, stage-graph deduplication
-(one pretrain / one calibration per model), the shim entry points, and the
-RunStore-backed serving variant pool.
+(one pretrain / one calibration per model), the run_experiment entry point
+and its default-store semantics, and the RunStore-backed serving variant
+pool.
 """
 
 from __future__ import annotations
@@ -24,9 +25,7 @@ from repro.experiments import (
     StageGraph,
     build_variant,
     compile_experiment,
-    run_config_experiment,
     run_experiment,
-    run_quantization_table,
 )
 from repro.serving import ModelVariantPool
 from repro.zoo import PretrainConfig, clear_model_memo
@@ -233,51 +232,72 @@ class TestRunnerEndToEnd:
         assert run.manifest.stage(f"generate/{MODEL}/full-precision") is not None
 
 
-class TestShims:
-    def test_run_quantization_table_shares_fp_reference_across_calls(
+class TestRunExperimentEntryPoint:
+    def test_separate_runs_share_fp_reference_through_one_store(
             self, workdirs, tmp_path):
-        store = RunStore(tmp_path / "shim_store")
-        settings = tiny_settings()
-        first = run_quantization_table(MODEL, ("FP32/FP32", "FP8/FP8"),
-                                       settings, store=store)
-        again = run_quantization_table(MODEL, ("FP32/FP32", "FP8/FP8"),
-                                       settings, store=store)
+        store = RunStore(tmp_path / "shared_store")
+        spec = ExperimentSpec.from_labels(MODEL, ("FP32/FP32", "FP8/FP8"),
+                                          tiny_settings())
+        first = run_experiment(spec, store=store)
+        again = run_experiment(spec, store=store)
         fp_stage = f"generate/{MODEL}/full-precision"
         assert not first.manifest.stage(fp_stage).cache_hit
         assert again.manifest.stage(fp_stage).cache_hit
-        assert table_metrics(first) == table_metrics(again)
+        assert table_metrics(first.table) == table_metrics(again.table)
 
-    def test_run_config_experiment_reuses_table_artifacts(self, workdirs,
-                                                          tmp_path):
+    def test_custom_config_run_reuses_table_artifacts(self, workdirs,
+                                                      tmp_path):
         store = RunStore(tmp_path / "cross_store")
         settings = tiny_settings()
-        run_quantization_table(MODEL, ("FP32/FP32", "FP8/FP8"), settings,
-                               store=store)
-        row = run_config_experiment(
-            MODEL, QuantizationConfig(weight_dtype="int8",
-                                      activation_dtype="int8"),
-            settings, store=store)
+        table_spec = ExperimentSpec.from_labels(
+            MODEL, ("FP32/FP32", "FP8/FP8"), settings)
+        run_experiment(table_spec, store=store)
+        config_spec = ExperimentSpec(
+            model=MODEL,
+            rows=[RowSpec(config=QuantizationConfig(
+                weight_dtype="int8", activation_dtype="int8"))],
+            settings=settings,
+            references=("full-precision generated",),
+            with_clip=False)
+        run = run_experiment(config_spec, store=store)
+        row = run.table.rows[0]
         assert row.label == "INT8/INT8"
         assert row.report is not None
-        # different entry point, same stage keys: pretrain, calibration and
-        # the FP32 reference all came from the table run's artifacts
+        # different spec, same stage keys: pretrain, calibration and the
+        # FP32 reference all came from the table run's artifacts
         assert "full-precision generated" in row.metrics
+        assert run.manifest.stage(f"pretrain/{MODEL}").cache_hit
+        assert run.manifest.stage(f"calibration/{MODEL}").cache_hit
 
-    def test_unknown_labels_raise(self):
+    def test_from_labels_reports_every_unknown_label(self):
         with pytest.raises(ValueError, match="unknown config labels"):
-            run_quantization_table(MODEL, config_labels=["FP9/FP9"])
+            ExperimentSpec.from_labels(MODEL, ["FP9/FP9"])
 
     def test_store_false_bypasses_default_store(self, workdirs, monkeypatch):
         # store=False must mean "no artifact store", not "the default one"
-        import repro.experiments.harness as harness_module
+        import repro.experiments.runner as runner_module
 
         def forbidden():
             raise AssertionError("store=False must not touch the default store")
 
-        monkeypatch.setattr(harness_module, "default_run_store", forbidden)
-        table = run_quantization_table(MODEL, ("FP32/FP32",), tiny_settings(),
-                                       store=False)
-        assert table.manifest.cache_hits == 0
+        monkeypatch.setattr(runner_module, "default_run_store", forbidden)
+        spec = ExperimentSpec.from_labels(MODEL, ("FP32/FP32",),
+                                          tiny_settings())
+        run = run_experiment(spec, store=False)
+        assert run.manifest.cache_hits == 0
+
+    def test_store_none_uses_the_shared_default_store(self, workdirs,
+                                                      monkeypatch, tmp_path):
+        import repro.experiments.runner as runner_module
+
+        shared = RunStore(tmp_path / "default_store")
+        monkeypatch.setattr(runner_module, "default_run_store",
+                            lambda: shared)
+        spec = ExperimentSpec.from_labels(MODEL, ("FP32/FP32",),
+                                          tiny_settings())
+        run_experiment(spec, zoo_cache_dir=workdirs["zoo"])
+        rerun = run_experiment(spec, zoo_cache_dir=workdirs["zoo"])
+        assert rerun.manifest.hit_rate == 1.0
 
 
 # ----------------------------------------------------------------------

@@ -395,10 +395,10 @@ class TestSatellites:
         assert report.layers[0].weight_scheme == "int8"
 
     def test_unknown_table_label_raises_value_error(self):
-        from repro.experiments import run_quantization_table
+        from repro.experiments import ExperimentSpec
         with pytest.raises(ValueError) as excinfo:
-            run_quantization_table("ddim-cifar10",
-                                   config_labels=["FP8/FP8", "FP7/FP7"])
+            ExperimentSpec.from_labels("ddim-cifar10",
+                                       ["FP8/FP8", "FP7/FP7"])
         message = str(excinfo.value)
         assert "FP7/FP7" in message
         assert "FP8/FP8" in message and "FP4/FP8" in message
